@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cube"
+)
+
+const tinyBench = `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+n1 = AND(a, b)
+n2 = OR(n1, c)
+y = NOT(n2)
+`
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	bench := filepath.Join(dir, "tiny.bench")
+	if err := os.WriteFile(bench, []byte(tinyBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "tiny.cubes")
+	if err := run([]string{"-bench", bench, "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	set, err := cube.ReadSet(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Width != 3 || set.Len() == 0 {
+		t.Fatalf("cubes: %v", set)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -bench accepted")
+	}
+	if err := run([]string{"-bench", "/nonexistent.bench"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.bench")
+	if err := os.WriteFile(bad, []byte("garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-bench", bad}); err == nil ||
+		!strings.Contains(err.Error(), "line") {
+		t.Errorf("bad netlist error: %v", err)
+	}
+}

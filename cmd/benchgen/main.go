@@ -1,0 +1,84 @@
+// Command benchgen emits synthetic ITC'99-profile netlists in .bench
+// format (see internal/netgen for the substitution rationale).
+//
+// Usage:
+//
+//	benchgen -circuit b14 -o b14.bench
+//	benchgen -all -dir ./benchmarks [-scale 0.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/circuit"
+	"repro/internal/netgen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchgen", flag.ContinueOnError)
+	name := fs.String("circuit", "", "profile name (b01..b22)")
+	out := fs.String("o", "", "output file (default <name>.bench or stdout)")
+	all := fs.Bool("all", false, "emit every profile")
+	dir := fs.String("dir", ".", "output directory for -all")
+	scale := fs.Float64("scale", 1.0, "profile scale factor (0..1]")
+	seed := fs.Int64("seed", 0, "override the per-name deterministic seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *all {
+		for _, p := range netgen.ITC99() {
+			path := filepath.Join(*dir, p.Name+".bench")
+			if err := emit(p, *scale, *seed, path); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		return nil
+	}
+	if *name == "" {
+		return fmt.Errorf("need -circuit or -all")
+	}
+	p, ok := netgen.ProfileByName(*name)
+	if !ok {
+		return fmt.Errorf("unknown profile %q", *name)
+	}
+	path := *out
+	if path == "" {
+		path = p.Name + ".bench"
+	}
+	if err := emit(p, *scale, *seed, path); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func emit(p netgen.Profile, scale float64, seed int64, path string) error {
+	if scale < 1 {
+		p = p.Scaled(scale)
+	}
+	if seed != 0 {
+		p.Seed = seed
+	}
+	c, err := netgen.Generate(p)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return circuit.WriteBench(f, c)
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+func TestRunSingleCircuit(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "b03.bench")
+	if err := run([]string{"-circuit", "b03", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	c, err := circuit.ParseBench(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumInputs() != 29 {
+		t.Fatalf("b03 inputs = %d", c.NumInputs())
+	}
+}
+
+func TestRunScaled(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "b12s.bench")
+	if err := run([]string{"-circuit", "b12", "-scale", "0.25", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	c, err := circuit.ParseBench(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumInputs() >= 126 {
+		t.Fatalf("scaled b12 inputs = %d", c.NumInputs())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no arguments accepted")
+	}
+	if err := run([]string{"-circuit", "b99"}); err == nil {
+		t.Error("unknown circuit accepted")
+	}
+}

@@ -1,0 +1,163 @@
+// Command dpfill applies a test-vector ordering and an X-filling
+// algorithm to a cube file (one cube per line, characters 0/1/X, '#'
+// comments) and reports the peak input toggle count. With -o it writes
+// the filled, reordered set.
+//
+// Usage:
+//
+//	dpfill -in cubes.txt -order i -fill dp -o filled.txt
+//	dpfill -in cubes.txt -grid        # full ordering x fill grid
+//
+// Orderings: tool, xstat, i, isa. Fills: mt, r, 0, 1, b, adj, xstat, dp.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/cube"
+	"repro/internal/fill"
+	"repro/internal/order"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dpfill:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("dpfill", flag.ContinueOnError)
+	in := fs.String("in", "-", "input cube file ('-' = stdin)")
+	out := fs.String("o", "", "write the filled set to this file")
+	ordName := fs.String("order", "tool", "ordering: tool|xstat|i|isa")
+	fillName := fs.String("fill", "dp", "fill: mt|r|0|1|b|adj|xstat|dp")
+	seed := fs.Int64("seed", 1, "seed for randomized algorithms")
+	grid := fs.Bool("grid", false, "evaluate the full ordering x fill grid instead")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	set, err := cube.ReadSet(r)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "read %d cubes of width %d (%.1f%% X)\n",
+		set.Len(), set.Width, set.XPercent())
+
+	if *grid {
+		return runGrid(stdout, set, *seed)
+	}
+
+	ord, err := ordererByName(*ordName, *seed)
+	if err != nil {
+		return err
+	}
+	fl, err := fillerByName(*fillName, *seed)
+	if err != nil {
+		return err
+	}
+	perm, err := ord.Order(set)
+	if err != nil {
+		return err
+	}
+	filled, err := fl.Fill(set.Reorder(perm))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s + %s: peak input toggles = %d (total %d)\n",
+		ord.Name(), fl.Name(), filled.PeakToggles(), filled.TotalToggles())
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := filled.Write(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *out)
+	}
+	return nil
+}
+
+func runGrid(stdout io.Writer, set *cube.Set, seed int64) error {
+	orderers := append(order.All(), order.ISA(seed))
+	fillers := append(fill.All(seed), fill.Adj(), fill.XStat())
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	names := make([]string, len(fillers))
+	for i, fl := range fillers {
+		names[i] = fl.Name()
+	}
+	fmt.Fprintf(tw, "ordering\\fill\t%s\n", strings.Join(names, "\t"))
+	for _, ord := range orderers {
+		perm, err := ord.Order(set)
+		if err != nil {
+			return err
+		}
+		re := set.Reorder(perm)
+		cells := make([]string, len(fillers))
+		for i, fl := range fillers {
+			filled, err := fl.Fill(re)
+			if err != nil {
+				return err
+			}
+			cells[i] = fmt.Sprintf("%d", filled.PeakToggles())
+		}
+		fmt.Fprintf(tw, "%s\t%s\n", ord.Name(), strings.Join(cells, "\t"))
+	}
+	return tw.Flush()
+}
+
+func ordererByName(name string, seed int64) (order.Orderer, error) {
+	switch strings.ToLower(name) {
+	case "tool":
+		return order.Tool(), nil
+	case "xstat", "x-stat":
+		return order.XStat(), nil
+	case "i", "iorder", "i-order":
+		return order.Interleaved(), nil
+	case "isa":
+		return order.ISA(seed), nil
+	default:
+		return nil, fmt.Errorf("unknown ordering %q", name)
+	}
+}
+
+func fillerByName(name string, seed int64) (fill.Filler, error) {
+	switch strings.ToLower(name) {
+	case "mt":
+		return fill.MT(), nil
+	case "r", "random":
+		return fill.Random(seed), nil
+	case "0", "zero":
+		return fill.Zero(), nil
+	case "1", "one":
+		return fill.One(), nil
+	case "b", "backward":
+		return fill.Backward(), nil
+	case "adj":
+		return fill.Adj(), nil
+	case "xstat", "x-stat":
+		return fill.XStat(), nil
+	case "dp", "dpfill", "dp-fill":
+		return fill.DP(), nil
+	default:
+		return nil, fmt.Errorf("unknown fill %q", name)
+	}
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cube"
+)
+
+func writeCubes(t *testing.T, dir string, cubes ...string) string {
+	t.Helper()
+	path := filepath.Join(dir, "in.cubes")
+	s := cube.MustParseSet(cubes...)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := s.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBasic(t *testing.T) {
+	dir := t.TempDir()
+	in := writeCubes(t, dir, "0X1X", "XXXX", "1X0X")
+	out := filepath.Join(dir, "out.cubes")
+	var sb strings.Builder
+	if err := run([]string{"-in", in, "-order", "i", "-fill", "dp", "-o", out}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "peak input toggles") {
+		t.Fatalf("output: %q", sb.String())
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := cube.ReadSet(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 || !got.FullySpecified() {
+		t.Fatalf("written set: %v", got)
+	}
+}
+
+func TestRunGrid(t *testing.T) {
+	dir := t.TempDir()
+	in := writeCubes(t, dir, "0X1X", "XXXX", "1X0X", "X1X0")
+	var sb strings.Builder
+	if err := run([]string{"-in", in, "-grid"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Tool", "X-Stat", "I-Order", "ISA", "DP-fill"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("grid output missing %q", want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	in := writeCubes(t, dir, "01")
+	var sb strings.Builder
+	if err := run([]string{"-in", in, "-order", "bogus"}, &sb); err == nil {
+		t.Error("bad ordering accepted")
+	}
+	if err := run([]string{"-in", in, "-fill", "bogus"}, &sb); err == nil {
+		t.Error("bad fill accepted")
+	}
+	if err := run([]string{"-in", filepath.Join(dir, "missing")}, &sb); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+func TestOrdererAndFillerNames(t *testing.T) {
+	for _, name := range []string{"tool", "xstat", "i", "isa"} {
+		if _, err := ordererByName(name, 1); err != nil {
+			t.Errorf("ordering %q: %v", name, err)
+		}
+	}
+	for _, name := range []string{"mt", "r", "0", "1", "b", "adj", "xstat", "dp"} {
+		if _, err := fillerByName(name, 1); err != nil {
+			t.Errorf("fill %q: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Command experiments regenerates the paper's evaluation: Tables I–VI
+// and Figures 1, 2(a), 2(b), 2(c), rendered next to the published
+// numbers, plus the shape-claim checks of DESIGN.md.
+//
+// Usage:
+//
+//	experiments -all                  # everything, scaled profiles
+//	experiments -table 5 -table 6
+//	experiments -fig 2c -circuits b14,b15
+//	experiments -all -full            # profile-exact (slow: ~hours)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error {
+	*m = append(*m, s)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var tables, figs multiFlag
+	fs.Var(&tables, "table", "table to regenerate (1..6; repeatable)")
+	fs.Var(&figs, "fig", "figure to regenerate (1, 2a, 2b, 2c; repeatable)")
+	all := fs.Bool("all", false, "regenerate every table and figure")
+	full := fs.Bool("full", false, "profile-exact circuits (slow); default is scaled")
+	circuits := fs.String("circuits", "", "comma-separated circuit subset (default all 21)")
+	seed := fs.Int64("seed", 1, "master seed")
+	maxFaults := fs.Int("max-faults", 0, "override ATPG fault sample size")
+	cacheDir := fs.String("cache", "", "cube-set cache directory (recommended with -full)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *all {
+		tables = multiFlag{"1", "2", "3", "4", "5", "6"}
+		figs = multiFlag{"1", "2a", "2b", "2c"}
+	}
+	if len(tables) == 0 && len(figs) == 0 {
+		return fmt.Errorf("nothing to do: pass -all, -table N or -fig F")
+	}
+	for _, tb := range tables {
+		switch tb {
+		case "1", "2", "3", "4", "5", "6":
+		default:
+			return fmt.Errorf("unknown table %q (want 1..6)", tb)
+		}
+	}
+	for _, fg := range figs {
+		switch fg {
+		case "1", "2a", "2b", "2c":
+		default:
+			return fmt.Errorf("unknown figure %q (want 1, 2a, 2b, 2c)", fg)
+		}
+	}
+
+	// Fig 1 needs no suite.
+	needSuite := len(tables) > 0
+	for _, f := range figs {
+		if f != "1" {
+			needSuite = true
+		}
+	}
+
+	cfg := exp.DefaultConfig()
+	if *full {
+		cfg = exp.FullConfig()
+	}
+	cfg.Seed = *seed
+	if *maxFaults != 0 {
+		cfg.MaxFaults = *maxFaults
+	}
+	if *circuits != "" {
+		cfg.Circuits = strings.Split(*circuits, ",")
+	}
+	cfg.CacheDir = *cacheDir
+
+	var suite *exp.Suite
+	if needSuite {
+		t0 := time.Now()
+		which := "all 21 circuits"
+		if len(cfg.Circuits) > 0 {
+			which = fmt.Sprintf("%d circuits", len(cfg.Circuits))
+		}
+		fmt.Fprintf(os.Stderr, "loading suite (%s, full=%v)...\n", which, *full)
+		var err error
+		suite, err = exp.Load(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "suite ready in %v\n\n", time.Since(t0))
+	}
+
+	out := os.Stdout
+	var t2, t3, t4 []exp.PeakRow
+	var t5 []exp.CompareRow
+	for _, tb := range tables {
+		switch tb {
+		case "1":
+			fmt.Fprintln(out, "== Table I: test cube statistics ==")
+			if err := exp.RenderTableI(out, suite.TableI()); err != nil {
+				return err
+			}
+		case "2":
+			rows, err := suite.TableII()
+			if err != nil {
+				return err
+			}
+			t2 = rows
+			fmt.Fprintln(out, "== Table II: peak input toggles, tool ordering ==")
+			if err := exp.RenderPeakTable(out, "Tool", rows); err != nil {
+				return err
+			}
+		case "3":
+			rows, err := suite.TableIII()
+			if err != nil {
+				return err
+			}
+			t3 = rows
+			fmt.Fprintln(out, "== Table III: peak input toggles, X-Stat ordering ==")
+			if err := exp.RenderPeakTable(out, "X-Stat", rows); err != nil {
+				return err
+			}
+		case "4":
+			rows, err := suite.TableIV()
+			if err != nil {
+				return err
+			}
+			t4 = rows
+			fmt.Fprintln(out, "== Table IV: peak input toggles, I-Ordering ==")
+			if err := exp.RenderPeakTable(out, "I-Order", rows); err != nil {
+				return err
+			}
+		case "5":
+			rows, err := suite.TableV()
+			if err != nil {
+				return err
+			}
+			t5 = rows
+			fmt.Fprintln(out, "== Table V: proposed vs prior art (peak input toggles) ==")
+			if err := exp.RenderCompareTable(out, rows, true, exp.PaperTableV); err != nil {
+				return err
+			}
+		case "6":
+			rows, err := suite.TableVI()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "== Table VI: proposed vs prior art (peak circuit power, µW) ==")
+			if err := exp.RenderCompareTable(out, rows, false, exp.PaperTableVI); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown table %q", tb)
+		}
+		fmt.Fprintln(out)
+	}
+	for _, fg := range figs {
+		switch fg {
+		case "1":
+			r, err := exp.Fig1()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "== Fig 1: X-Stat vs Optimum-Fill ==")
+			if err := exp.RenderFig1(out, r); err != nil {
+				return err
+			}
+		case "2a":
+			series, err := suite.Fig2a()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "== Fig 2(a): I-Ordering iteration trajectories ==")
+			if err := exp.RenderFig2a(out, series); err != nil {
+				return err
+			}
+		case "2b":
+			points, err := suite.Fig2b()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "== Fig 2(b): iterations vs log2(n) ==")
+			if err := exp.RenderFig2b(out, points); err != nil {
+				return err
+			}
+		case "2c":
+			r, err := suite.Fig2c()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "== Fig 2(c): don't-care stretch statistics ==")
+			if err := exp.RenderFig2c(out, r); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown figure %q", fg)
+		}
+		fmt.Fprintln(out)
+	}
+
+	// Shape checks when the inputs exist.
+	if t2 != nil && t3 != nil && t4 != nil && t5 != nil {
+		rep := suite.CheckShapes(t2, t3, t4, t5)
+		if err := rep.Render(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no artifacts requested but accepted")
+	}
+	if err := run([]string{"-table", "9"}); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if err := run([]string{"-fig", "3"}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run([]string{"-table", "1", "-circuits", "nope"}); err == nil {
+		t.Error("unknown circuit accepted")
+	}
+}
+
+func TestRunFig1Standalone(t *testing.T) {
+	// Figure 1 needs no suite, so this is fast.
+	if err := run([]string{"-fig", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSmallSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite build in -short mode")
+	}
+	if err := run([]string{"-table", "1", "-fig", "2b", "-circuits", "b01,b06"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiFlag(t *testing.T) {
+	var m multiFlag
+	if err := m.Set("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("b"); err != nil {
+		t.Fatal(err)
+	}
+	if m.String() != "a,b" {
+		t.Fatalf("multiFlag = %q", m.String())
+	}
+}

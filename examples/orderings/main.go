@@ -1,0 +1,85 @@
+// Orderings study: a miniature of Tables II-IV on one circuit — every
+// ordering crossed with every fill, showing how the I-Ordering widens
+// don't-care stretches and how DP-fill exploits them.
+//
+//	go run ./examples/orderings [circuit]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro"
+	"repro/internal/order"
+	"repro/internal/stats"
+)
+
+func main() {
+	name := "b03"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	var profile repro.Profile
+	found := false
+	for _, p := range repro.ITC99Profiles() {
+		if p.Name == name {
+			profile, found = p, true
+		}
+	}
+	if !found {
+		log.Fatalf("unknown circuit %q", name)
+	}
+
+	c, err := repro.GenerateCircuit(profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cubes, _, err := repro.GenerateTests(c, repro.ATPGOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d cubes x %d pins (%.1f%% X)\n\n",
+		name, cubes.Len(), cubes.Width, cubes.XPercent())
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "ordering")
+	fillers := repro.Fills(1)
+	for _, fl := range fillers {
+		fmt.Fprintf(tw, "\t%s", fl.Name())
+	}
+	fmt.Fprintln(tw, "\tmean stretch")
+	for _, ord := range repro.Orderings(1) {
+		perm, err := ord.Order(cubes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		re := cubes.Reorder(perm)
+		fmt.Fprintf(tw, "%s", ord.Name())
+		for _, fl := range fillers {
+			filled, err := fl.Fill(re)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(tw, "\t%d", filled.PeakToggles())
+		}
+		fmt.Fprintf(tw, "\t%.1f\n", stats.Stretches(re).Mean)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The Fig 2(a) trajectory for this circuit.
+	_, traces, err := order.InterleavedTrace(cubes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nI-Ordering (Algorithm 3) search trajectory:")
+	for _, t := range traces {
+		fmt.Printf("  k=%d -> optimal peak %d\n", t.K, t.Peak)
+	}
+	fmt.Println("\nObservations: DP-fill is columnwise-minimal under every ordering")
+	fmt.Println("(it is optimal per ordering); I-Ordering lengthens X stretches,")
+	fmt.Println("which DP-fill converts into the lowest overall peak.")
+}

@@ -1,0 +1,118 @@
+package atpg
+
+import (
+	"testing"
+
+	"repro/internal/cube"
+	"repro/internal/logicsim"
+	"repro/internal/netgen"
+)
+
+// TestGenerateDetectionSound is the compaction soundness check: every
+// fault Generate reports as detected must be detected by at least one
+// emitted cube according to the independent dual-rail fault simulator —
+// even though compaction merged cubes after their targets were
+// recorded (merging adds care bits, and detection under X is monotone
+// in specification, so this must hold).
+func TestGenerateDetectionSound(t *testing.T) {
+	p, _ := netgen.ProfileByName("b03")
+	c, err := netgen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, stats, err := Generate(c, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Merged == 0 {
+		t.Fatal("compaction did not merge anything; test is vacuous")
+	}
+	faults := Collapse(c, AllFaults(c))
+	faults = Sample(faults, 0, 2)
+	fs := NewFaultSim(logicsim.Compile(c))
+
+	// Batch fault simulation over the emitted set.
+	detected := make([]bool, len(faults))
+	for base := 0; base < set.Len(); base += 64 {
+		hi := base + 64
+		if hi > set.Len() {
+			hi = set.Len()
+		}
+		if err := fs.ApplyBatch(set.Cubes[base:hi]); err != nil {
+			t.Fatal(err)
+		}
+		for fi := range faults {
+			if !detected[fi] && fs.Detects(faults[fi]) != 0 {
+				detected[fi] = true
+			}
+		}
+	}
+	count := 0
+	for _, d := range detected {
+		if d {
+			count++
+		}
+	}
+	if count < stats.Detected {
+		t.Fatalf("Generate claims %d detected but the emitted set only detects %d",
+			stats.Detected, count)
+	}
+}
+
+// TestNoCompactDisablesMerging checks the option plumbing and that
+// disabling compaction yields at least as many (typically more)
+// patterns.
+func TestNoCompactDisablesMerging(t *testing.T) {
+	p, _ := netgen.ProfileByName("b03")
+	c, err := netgen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, sWith, err := Generate(c, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sWith.Merged == 0 {
+		t.Fatal("default run merged nothing; compaction broken")
+	}
+	without, sWithout, err := Generate(c, Options{Seed: 2, NoCompact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sWithout.Merged != 0 {
+		t.Fatalf("NoCompact still merged %d", sWithout.Merged)
+	}
+	if without.Len() < with.Len() {
+		t.Fatalf("compaction increased pattern count: %d -> %d", without.Len(), with.Len())
+	}
+	if with.XPercent() >= without.XPercent() {
+		t.Logf("note: compaction usually lowers X%% (got %.1f vs %.1f)",
+			with.XPercent(), without.XPercent())
+	}
+}
+
+// TestMergedPatternsRespectCareBits: merged patterns must remain
+// supersets of the constituent PODEM cubes' care bits; spot-check via
+// cube compatibility of each emitted pattern with itself (fully
+// self-consistent) and X accounting.
+func TestMergedPatternsRespectCareBits(t *testing.T) {
+	p, _ := netgen.ProfileByName("b01")
+	c, err := netgen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, _, err := Generate(c, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cb := range set.Cubes {
+		if len(cb) != c.NumInputs() {
+			t.Fatalf("pattern %d has width %d", i, len(cb))
+		}
+		for _, tr := range cb {
+			if tr != cube.Zero && tr != cube.One && tr != cube.X {
+				t.Fatalf("pattern %d holds invalid trit %d", i, tr)
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package atpg
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/cube"
+	"repro/internal/logicsim"
+)
+
+// CoveragePoint is one point of a fault-coverage curve.
+type CoveragePoint struct {
+	// Patterns is the number of patterns applied so far.
+	Patterns int
+	// Detected is the cumulative number of detected faults.
+	Detected int
+	// Coverage is Detected over the fault-list size.
+	Coverage float64
+}
+
+// CoverageCurve fault-simulates the ordered set against the full
+// collapsed fault list and returns the cumulative coverage after every
+// 64-pattern batch (plus a final point at the exact pattern count).
+// The classic ATPG report: steep early (easy faults, dense patterns),
+// long tail — and the independent-of-Generate way to audit a pattern
+// set, whether it came from this package, a cache file or another tool.
+func CoverageCurve(c *circuit.Circuit, set *cube.Set) ([]CoveragePoint, error) {
+	faults := Collapse(c, AllFaults(c))
+	fs := NewFaultSim(logicsim.Compile(c))
+	detected := make([]bool, len(faults))
+	count := 0
+	var curve []CoveragePoint
+	for base := 0; base < set.Len(); base += 64 {
+		hi := base + 64
+		if hi > set.Len() {
+			hi = set.Len()
+		}
+		if err := fs.ApplyBatch(set.Cubes[base:hi]); err != nil {
+			return nil, err
+		}
+		for fi := range faults {
+			if !detected[fi] && fs.Detects(faults[fi]) != 0 {
+				detected[fi] = true
+				count++
+			}
+		}
+		curve = append(curve, CoveragePoint{
+			Patterns: hi,
+			Detected: count,
+			Coverage: float64(count) / float64(len(faults)),
+		})
+	}
+	return curve, nil
+}

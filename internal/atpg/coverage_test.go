@@ -1,0 +1,52 @@
+package atpg
+
+import (
+	"testing"
+
+	"repro/internal/netgen"
+)
+
+func TestCoverageCurveMonotone(t *testing.T) {
+	p, _ := netgen.ProfileByName("b03")
+	c, err := netgen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, stats, err := Generate(c, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := CoverageCurve(c, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) == 0 {
+		t.Fatal("empty curve")
+	}
+	prev := CoveragePoint{}
+	for _, pt := range curve {
+		if pt.Patterns <= prev.Patterns || pt.Detected < prev.Detected {
+			t.Fatalf("curve not monotone: %+v after %+v", pt, prev)
+		}
+		if pt.Coverage < 0 || pt.Coverage > 1 {
+			t.Fatalf("coverage out of range: %+v", pt)
+		}
+		prev = pt
+	}
+	last := curve[len(curve)-1]
+	if last.Patterns != set.Len() {
+		t.Fatalf("final point at %d patterns, want %d", last.Patterns, set.Len())
+	}
+	// The independent audit must account for at least the faults
+	// Generate claims (it may find more: Generate drops conservatively
+	// within its own flow).
+	if last.Detected < stats.Detected {
+		t.Fatalf("audit detected %d < Generate's %d", last.Detected, stats.Detected)
+	}
+	// The classic shape: the first batch detects the majority of the
+	// finally-covered faults.
+	if float64(curve[0].Detected) < 0.5*float64(last.Detected) {
+		t.Logf("note: first batch covered %d/%d (unusually shallow start)",
+			curve[0].Detected, last.Detected)
+	}
+}

@@ -1,0 +1,113 @@
+// Package atpg implements the test-generation substrate the paper's
+// experiments depend on: stuck-at fault modeling, a PODEM test-pattern
+// generator that emits genuinely partial test cubes (unassigned inputs
+// stay X, which is what makes X-filling worthwhile), and a three-valued
+// pattern-parallel fault simulator used for fault dropping.
+//
+// The paper used TetraMax on the ITC'99 circuits; this package plays
+// that role on the netgen-generated profile-matched netlists (see
+// DESIGN.md substitutions). The "tool ordering" of Table II is the
+// order patterns are generated in.
+package atpg
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/cube"
+)
+
+// Fault is a single stuck-at fault on a net (a gate output stem).
+type Fault struct {
+	// Net is the gate ID whose output is faulty.
+	Net int
+	// Stuck is the stuck-at value, cube.Zero or cube.One.
+	Stuck cube.Trit
+}
+
+// String renders the fault in the conventional "net/sa0" form.
+func (f Fault) String() string {
+	v := 0
+	if f.Stuck == cube.One {
+		v = 1
+	}
+	return fmt.Sprintf("%d/sa%d", f.Net, v)
+}
+
+// AllFaults returns the uncollapsed stem fault list: stuck-at-0 and
+// stuck-at-1 on every net (gate outputs, primary inputs and flip-flop
+// outputs). Constant gates only get the detectable polarity.
+func AllFaults(c *circuit.Circuit) []Fault {
+	out := make([]Fault, 0, 2*len(c.Gates))
+	for i := range c.Gates {
+		switch c.Gates[i].Type {
+		case circuit.Const0:
+			out = append(out, Fault{Net: i, Stuck: cube.One})
+		case circuit.Const1:
+			out = append(out, Fault{Net: i, Stuck: cube.Zero})
+		default:
+			out = append(out, Fault{Net: i, Stuck: cube.Zero}, Fault{Net: i, Stuck: cube.One})
+		}
+	}
+	return out
+}
+
+// Collapse applies structural equivalence collapsing for inverter and
+// buffer chains: a fault on a BUF output is equivalent to the same
+// fault on its fanin; a fault on a NOT output is equivalent to the
+// opposite fault on its fanin. Each equivalence class keeps one
+// representative (the most upstream), shrinking the fault list without
+// changing coverage.
+func Collapse(c *circuit.Circuit, faults []Fault) []Fault {
+	canon := func(f Fault) Fault {
+		for {
+			g := &c.Gates[f.Net]
+			switch g.Type {
+			case circuit.Buf:
+				f.Net = g.Fanin[0]
+			case circuit.Not:
+				f.Net = g.Fanin[0]
+				f.Stuck = f.Stuck.Neg()
+			default:
+				return f
+			}
+		}
+	}
+	seen := make(map[Fault]bool, len(faults))
+	out := make([]Fault, 0, len(faults))
+	for _, f := range faults {
+		cf := canon(f)
+		if !seen[cf] {
+			seen[cf] = true
+			out = append(out, cf)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Net != out[j].Net {
+			return out[i].Net < out[j].Net
+		}
+		return out[i].Stuck < out[j].Stuck
+	})
+	return out
+}
+
+// Sample returns up to max faults drawn uniformly without replacement
+// (deterministic for a given seed), or the input unchanged if max <= 0
+// or the list is already small enough. Large-circuit experiment runs
+// sample the fault list; see DESIGN.md for why this preserves cube
+// geometry.
+func Sample(faults []Fault, max int, seed int64) []Fault {
+	if max <= 0 || len(faults) <= max {
+		return faults
+	}
+	r := rand.New(rand.NewSource(seed))
+	idx := r.Perm(len(faults))[:max]
+	sort.Ints(idx)
+	out := make([]Fault, max)
+	for i, k := range idx {
+		out[i] = faults[k]
+	}
+	return out
+}

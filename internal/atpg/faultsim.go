@@ -1,0 +1,208 @@
+package atpg
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/cube"
+	"repro/internal/logicsim"
+)
+
+// FaultSim is a three-valued pattern-parallel stuck-at fault simulator.
+// It simulates the good machine once per batch of up to 64 test cubes,
+// then, per fault, resimulates only the fault's fanout cone against a
+// copy-on-write overlay. A fault is detected by pattern p if some
+// observable net (PO or DFF fanin) has specified, differing good and
+// faulty values in p — i.e. detection is guaranteed no matter how the
+// cubes' X bits are later filled.
+type FaultSim struct {
+	cc   *logicsim.Circuit3
+	good *logicsim.DualRail
+
+	// observable[id] marks POs and DFF fanin nets.
+	observable []bool
+
+	// Overlay state for cone resimulation, reused across faults via an
+	// epoch counter.
+	oneF, zeroF []uint64
+	stamp       []int
+	epoch       int
+
+	// buckets[level] is a reusable level-indexed worklist; dirty lists
+	// the levels touched by the current fault so clearing is O(cone).
+	buckets [][]int
+	dirty   []int
+	inCone  []int // epoch-stamped membership
+}
+
+// NewFaultSim builds a simulator for the circuit.
+func NewFaultSim(cc *logicsim.Circuit3) *FaultSim {
+	c := cc.C
+	n := len(c.Gates)
+	fs := &FaultSim{
+		cc:         cc,
+		good:       logicsim.NewDualRail(cc),
+		observable: make([]bool, n),
+		oneF:       make([]uint64, n),
+		zeroF:      make([]uint64, n),
+		stamp:      make([]int, n),
+		inCone:     make([]int, n),
+	}
+	for _, id := range c.ScanOutputs() {
+		fs.observable[id] = true
+	}
+	fs.buckets = make([][]int, c.Depth()+1)
+	return fs
+}
+
+// ApplyBatch simulates the good machine for up to 64 cubes. It must be
+// called before Detects.
+func (fs *FaultSim) ApplyBatch(cubes []cube.Cube) error {
+	return fs.good.ApplyCubes(cubes)
+}
+
+// Good returns the good-machine dual-rail engine (read-only use).
+func (fs *FaultSim) Good() *logicsim.DualRail { return fs.good }
+
+func (fs *FaultSim) readOne(id int) uint64 {
+	if fs.stamp[id] == fs.epoch {
+		return fs.oneF[id]
+	}
+	return fs.good.One[id]
+}
+
+func (fs *FaultSim) readZero(id int) uint64 {
+	if fs.stamp[id] == fs.epoch {
+		return fs.zeroF[id]
+	}
+	return fs.good.Zero[id]
+}
+
+// Detects returns the set of batch patterns (as a bit mask) in which the
+// fault is definitely detected, given the last ApplyBatch. The mask is
+// relative to the batch's pattern indices.
+func (fs *FaultSim) Detects(f Fault) uint64 {
+	c := fs.cc.C
+	fs.epoch++
+
+	// Force the faulty value on the fault net.
+	var fOne, fZero uint64
+	if f.Stuck == cube.One {
+		fOne, fZero = ^uint64(0), 0
+	} else {
+		fOne, fZero = 0, ^uint64(0)
+	}
+	fs.oneF[f.Net], fs.zeroF[f.Net] = fOne, fZero
+	fs.stamp[f.Net] = fs.epoch
+
+	// diff: patterns where good and faulty are specified and differ.
+	diffAt := func(id int) uint64 {
+		return (fs.good.One[id] & fs.readZero(id)) | (fs.good.Zero[id] & fs.readOne(id))
+	}
+
+	detected := uint64(0)
+	if fs.observable[f.Net] {
+		detected |= diffAt(f.Net)
+	}
+
+	// Level-bucketed cone propagation: every combinational gate sits at
+	// a strictly higher level than its fanins, so sweeping buckets in
+	// increasing level evaluates each cone gate exactly once, after all
+	// its (possibly faulty) fanins.
+	for _, l := range fs.dirty {
+		fs.buckets[l] = fs.buckets[l][:0]
+	}
+	fs.dirty = fs.dirty[:0]
+	push := func(id int) {
+		if fs.inCone[id] != fs.epoch {
+			fs.inCone[id] = fs.epoch
+			l := c.Level(id)
+			if len(fs.buckets[l]) == 0 {
+				fs.dirty = append(fs.dirty, l)
+			}
+			fs.buckets[l] = append(fs.buckets[l], id)
+		}
+	}
+	expand := func(from int) {
+		for _, out := range c.Gates[from].Fanout {
+			if c.Gates[out].Type == circuit.DFF {
+				// The DFF's fanin net is the observable; the flop itself
+				// is a sequential boundary.
+				continue
+			}
+			push(out)
+		}
+	}
+	expand(f.Net)
+	for l := 0; l < len(fs.buckets); l++ {
+		for _, g := range fs.buckets[l] {
+			one, zero := evalOverlay(fs, c.Gates[g].Type, c.Gates[g].Fanin)
+			if one == fs.good.One[g] && zero == fs.good.Zero[g] {
+				continue // fault effect died here; don't expand
+			}
+			fs.oneF[g], fs.zeroF[g] = one, zero
+			fs.stamp[g] = fs.epoch
+			if fs.observable[g] {
+				detected |= diffAt(g)
+			}
+			expand(g)
+		}
+	}
+	return detected
+}
+
+// evalOverlay evaluates one gate dual-rail, reading fanins through the
+// copy-on-write overlay. The switch mirrors logicsim.EvalDualRail.
+func evalOverlay(fs *FaultSim, t circuit.GateType, fanin []int) (uint64, uint64) {
+	switch t {
+	case circuit.Buf:
+		return fs.readOne(fanin[0]), fs.readZero(fanin[0])
+	case circuit.Not:
+		return fs.readZero(fanin[0]), fs.readOne(fanin[0])
+	case circuit.And, circuit.Nand:
+		o := ^uint64(0)
+		z := uint64(0)
+		for _, f := range fanin {
+			o &= fs.readOne(f)
+			z |= fs.readZero(f)
+		}
+		if t == circuit.Nand {
+			return z, o
+		}
+		return o, z
+	case circuit.Or, circuit.Nor:
+		o := uint64(0)
+		z := ^uint64(0)
+		for _, f := range fanin {
+			o |= fs.readOne(f)
+			z &= fs.readZero(f)
+		}
+		if t == circuit.Nor {
+			return z, o
+		}
+		return o, z
+	case circuit.Xor, circuit.Xnor:
+		o := uint64(0)
+		z := ^uint64(0)
+		for _, f := range fanin {
+			no := (o & fs.readZero(f)) | (z & fs.readOne(f))
+			nz := (z & fs.readZero(f)) | (o & fs.readOne(f))
+			o, z = no, nz
+		}
+		if t == circuit.Xnor {
+			return z, o
+		}
+		return o, z
+	default:
+		// Sources cannot appear in a fanout cone.
+		return 0, 0
+	}
+}
+
+// DetectedBy reports whether the single cube detects the fault — a
+// convenience wrapper (one-pattern batch) used by tests and by PODEM
+// result verification.
+func (fs *FaultSim) DetectedBy(t cube.Cube, f Fault) (bool, error) {
+	if err := fs.ApplyBatch([]cube.Cube{t}); err != nil {
+		return false, err
+	}
+	return fs.Detects(f)&1 != 0, nil
+}

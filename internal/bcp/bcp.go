@@ -1,0 +1,288 @@
+// Package bcp implements the Bottleneck Coloring Problem (BCP) of §V of
+// the DP-fill paper: given intervals over a discrete color range, assign
+// each interval one color inside it so that the maximum number of
+// intervals sharing a color (the bottleneck) is minimized.
+//
+// In the hotel analogy of §V-A, colors are days and intervals are guest
+// requests; the hotel wants to minimize the busiest day's occupancy. In
+// the X-filling application, colors are test cycles (boundaries between
+// consecutive test vectors) and each interval is a row stretch that must
+// place exactly one toggle.
+//
+// The package provides the paper's two algorithms — the dynamic-
+// programming lower bound (Algorithm 1) and the earliest-deadline greedy
+// assignment (Algorithm 2) — plus an exhaustive solver used to verify
+// optimality in tests. Colors are 0-based: an instance with NumColors = C
+// uses colors 0..C-1.
+package bcp
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Interval is one BCP request: a color in [Start, End] (inclusive, both
+// 0-based) must be assigned to it.
+type Interval struct {
+	Start, End int
+}
+
+// Valid reports whether the interval is well-formed and lies inside a
+// color range of size numColors.
+func (iv Interval) Valid(numColors int) bool {
+	return 0 <= iv.Start && iv.Start <= iv.End && iv.End < numColors
+}
+
+// Contains reports whether color c may legally be assigned to iv.
+func (iv Interval) Contains(c int) bool { return iv.Start <= c && c <= iv.End }
+
+// Instance is a BCP problem: a set of intervals over colors 0..NumColors-1.
+type Instance struct {
+	NumColors int
+	Intervals []Interval
+}
+
+// NewInstance validates and builds an instance. It returns an error if
+// any interval falls outside the color range or is inverted.
+func NewInstance(numColors int, intervals []Interval) (*Instance, error) {
+	if numColors < 0 {
+		return nil, fmt.Errorf("bcp: negative color count %d", numColors)
+	}
+	for i, iv := range intervals {
+		if !iv.Valid(numColors) {
+			return nil, fmt.Errorf("bcp: interval %d = [%d,%d] invalid for %d colors",
+				i, iv.Start, iv.End, numColors)
+		}
+	}
+	return &Instance{NumColors: numColors, Intervals: intervals}, nil
+}
+
+// Solution is a complete coloring of an instance.
+type Solution struct {
+	// Colors[i] is the color assigned to Intervals[i].
+	Colors []int
+	// Bottleneck is the maximum number of intervals sharing any color.
+	Bottleneck int
+	// LowerBound is the Algorithm 1 bound; by the paper's theorem it
+	// always equals Bottleneck for solutions produced by Solve.
+	LowerBound int
+}
+
+// Histogram returns, for each color, the number of intervals assigned to
+// it. colors[i] must be a valid color for instance inst.
+func (inst *Instance) Histogram(colors []int) []int {
+	h := make([]int, inst.NumColors)
+	for _, c := range colors {
+		h[c]++
+	}
+	return h
+}
+
+// CheckColoring verifies that colors is a legal coloring of inst (every
+// interval received a color inside its range) and returns the bottleneck.
+func (inst *Instance) CheckColoring(colors []int) (int, error) {
+	if len(colors) != len(inst.Intervals) {
+		return 0, fmt.Errorf("bcp: coloring has %d entries for %d intervals",
+			len(colors), len(inst.Intervals))
+	}
+	h := make([]int, inst.NumColors)
+	for i, c := range colors {
+		iv := inst.Intervals[i]
+		if c < 0 || c >= inst.NumColors || !iv.Contains(c) {
+			return 0, fmt.Errorf("bcp: interval %d = [%d,%d] assigned illegal color %d",
+				i, iv.Start, iv.End, c)
+		}
+		h[c]++
+	}
+	max := 0
+	for _, v := range h {
+		if v > max {
+			max = v
+		}
+	}
+	return max, nil
+}
+
+// LowerBound implements Algorithm 1 of the paper: the maximum over all
+// color windows [i,j] of ceil(T(i,j)/(j-i+1)), where T(i,j) counts the
+// intervals wholly contained in the window. Any coloring must place all
+// T(i,j) such intervals on the j-i+1 colors of the window, so some color
+// receives at least the ceiling — making the result a true lower bound
+// on the bottleneck.
+//
+// The paper states the T recurrence as an O(k²) table over interval
+// endpoints; we compute the equivalent window maximization with a rolling
+// row over colors, which is O(C²+k) time and O(C+k) memory for C colors
+// and k intervals. For every window start i the inner loop accumulates
+// T(i,j) incrementally from the sorted interval ends.
+func (inst *Instance) LowerBound() int {
+	if len(inst.Intervals) == 0 {
+		return 0
+	}
+	c := inst.NumColors
+	// endsByStart[s] lists the End values of intervals starting at s,
+	// sorted ascending so a forward pointer can count "End <= j" cheaply.
+	endsByStart := make([][]int, c)
+	for _, iv := range inst.Intervals {
+		endsByStart[iv.Start] = append(endsByStart[iv.Start], iv.End)
+	}
+	for s := range endsByStart {
+		sort.Ints(endsByStart[s])
+	}
+
+	lb := 0
+	// t[j] carries T(i,j) for the current window start i. Iterating i
+	// downward lets us reuse T(i+1,j) and add the intervals with
+	// Start == i and End <= j via the sorted ends pointer.
+	t := make([]int, c)
+	for i := c - 1; i >= 0; i-- {
+		ends := endsByStart[i]
+		p := 0
+		for j := i; j < c; j++ {
+			for p < len(ends) && ends[p] <= j {
+				p++
+			}
+			count := t[j] + p // T(i,j) = T(i+1,j) + |{Start==i, End<=j}|
+			// ceil(count / window)
+			window := j - i + 1
+			if b := (count + window - 1) / window; b > lb {
+				lb = b
+			}
+		}
+		// Fold the Start == i intervals into t so the next (smaller) i
+		// sees T(i,j); do it after the scan to keep t[j] = T(i+1,j)
+		// during the scan.
+		p = 0
+		for j := i; j < c; j++ {
+			for p < len(ends) && ends[p] <= j {
+				p++
+			}
+			t[j] += p
+		}
+	}
+	return lb
+}
+
+// endHeap is a min-heap of interval indices ordered by interval End —
+// the "deadline" heap of Algorithm 2.
+type endHeap struct {
+	idx       []int
+	intervals []Interval
+}
+
+func (h *endHeap) Len() int { return len(h.idx) }
+func (h *endHeap) Less(i, j int) bool {
+	return h.intervals[h.idx[i]].End < h.intervals[h.idx[j]].End
+}
+func (h *endHeap) Swap(i, j int)      { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *endHeap) Push(x interface{}) { h.idx = append(h.idx, x.(int)) }
+func (h *endHeap) Pop() interface{} {
+	n := len(h.idx)
+	v := h.idx[n-1]
+	h.idx = h.idx[:n-1]
+	return v
+}
+
+// Assign implements Algorithm 2: process colors in increasing order,
+// admit the intervals whose Start equals the current color into a
+// min-heap keyed by End, and pop at most `capacity` intervals per color
+// (earliest deadline first), assigning them the current color.
+//
+// With capacity = LowerBound(), the paper's theorem (§VI-C) guarantees
+// every popped interval still has End >= current color, so the coloring
+// is legal and its bottleneck equals the lower bound — i.e. it is
+// optimal. Assign nevertheless verifies legality and returns an error if
+// the capacity was too small (which indicates caller misuse, not an
+// algorithmic failure).
+func (inst *Instance) Assign(capacity int) ([]int, error) {
+	k := len(inst.Intervals)
+	if k == 0 {
+		return nil, nil
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("bcp: capacity %d must be positive", capacity)
+	}
+	// Bucket interval indices by start color (counting sort — the
+	// "sort by starting time" of Algorithm 2 line 1).
+	byStart := make([][]int, inst.NumColors)
+	for i, iv := range inst.Intervals {
+		byStart[iv.Start] = append(byStart[iv.Start], i)
+	}
+
+	colors := make([]int, k)
+	h := &endHeap{intervals: inst.Intervals, idx: make([]int, 0, k)}
+	assigned := 0
+	for c := 0; c < inst.NumColors; c++ {
+		for _, i := range byStart[c] {
+			heap.Push(h, i)
+		}
+		for picked := 0; picked < capacity && h.Len() > 0; picked++ {
+			i := heap.Pop(h).(int)
+			if inst.Intervals[i].End < c {
+				return nil, fmt.Errorf("bcp: interval [%d,%d] missed its deadline at color %d (capacity %d too small)",
+					inst.Intervals[i].Start, inst.Intervals[i].End, c, capacity)
+			}
+			colors[i] = c
+			assigned++
+		}
+	}
+	if assigned != k {
+		return nil, fmt.Errorf("bcp: %d of %d intervals left unassigned", k-assigned, k)
+	}
+	return colors, nil
+}
+
+// Solve runs Algorithm 1 followed by Algorithm 2 and returns the optimal
+// coloring. The returned Solution always has Bottleneck == LowerBound,
+// which is the paper's optimality result.
+func (inst *Instance) Solve() (*Solution, error) {
+	lb := inst.LowerBound()
+	if len(inst.Intervals) == 0 {
+		return &Solution{Colors: nil, Bottleneck: 0, LowerBound: 0}, nil
+	}
+	colors, err := inst.Assign(lb)
+	if err != nil {
+		return nil, err
+	}
+	bn, err := inst.CheckColoring(colors)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{Colors: colors, Bottleneck: bn, LowerBound: lb}, nil
+}
+
+// BruteForce exhaustively searches all colorings and returns the true
+// optimal bottleneck. It is exponential in the number of intervals and
+// exists to validate Solve in tests; instances beyond ~15 intervals or
+// wide ranges will be slow.
+func (inst *Instance) BruteForce() int {
+	k := len(inst.Intervals)
+	if k == 0 {
+		return 0
+	}
+	hist := make([]int, inst.NumColors)
+	best := k + 1
+	var rec func(i, cur int)
+	rec = func(i, cur int) {
+		if cur >= best {
+			return // prune: can only get worse
+		}
+		if i == k {
+			best = cur
+			return
+		}
+		iv := inst.Intervals[i]
+		for c := iv.Start; c <= iv.End; c++ {
+			hist[c]++
+			next := cur
+			if hist[c] > next {
+				next = hist[c]
+			}
+			rec(i+1, next)
+			hist[c]--
+		}
+	}
+	rec(0, 0)
+	return best
+}

@@ -1,0 +1,78 @@
+package bcp
+
+import "sort"
+
+// LowerBoundSparse computes the Algorithm 1 bound in O(k²) for k
+// intervals, independent of the color-range size — the complexity the
+// paper states for its endpoint formulation. The window maximization
+// only needs windows [i,j] whose i is some interval's Start and whose j
+// is some interval's End (shrinking any other window keeps T(i,j) while
+// reducing j-i+1... shrinking to the nearest enclosed endpoints never
+// decreases the ratio), so it enumerates endpoint pairs only.
+//
+// LowerBound (the rolling dense DP) is preferred when the color range
+// is comparable to k; this variant wins for sparse instances over huge
+// ranges. The two are cross-checked by property tests.
+func (inst *Instance) LowerBoundSparse() int {
+	k := len(inst.Intervals)
+	if k == 0 {
+		return 0
+	}
+	starts := make([]int, 0, k)
+	ends := make([]int, 0, k)
+	for _, iv := range inst.Intervals {
+		starts = append(starts, iv.Start)
+		ends = append(ends, iv.End)
+	}
+	starts = dedupSorted(starts)
+	ends = dedupSorted(ends)
+
+	// byStart: intervals sorted by Start, with their Ends, so that for a
+	// fixed window start we can sweep window ends in one pass.
+	ord := make([]int, k)
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool {
+		return inst.Intervals[ord[a]].Start < inst.Intervals[ord[b]].Start
+	})
+
+	lb := 0
+	for _, i := range starts {
+		// Collect the ends of intervals with Start >= i, sorted; then
+		// T(i,j) = #ends <= j, swept over candidate ends.
+		var endsIn []int
+		for _, idx := range ord {
+			iv := inst.Intervals[idx]
+			if iv.Start >= i {
+				endsIn = append(endsIn, iv.End)
+			}
+		}
+		sort.Ints(endsIn)
+		p := 0
+		for _, j := range ends {
+			if j < i {
+				continue
+			}
+			for p < len(endsIn) && endsIn[p] <= j {
+				p++
+			}
+			window := j - i + 1
+			if b := (p + window - 1) / window; b > lb {
+				lb = b
+			}
+		}
+	}
+	return lb
+}
+
+func dedupSorted(a []int) []int {
+	sort.Ints(a)
+	out := a[:0]
+	for i, v := range a {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package bcp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLowerBoundSparseBasics(t *testing.T) {
+	if lb := mustInstance(t, 10).LowerBoundSparse(); lb != 0 {
+		t.Fatalf("empty sparse LB = %d", lb)
+	}
+	inst := mustInstance(t, 4, Interval{1, 1}, Interval{1, 1}, Interval{1, 1})
+	if lb := inst.LowerBoundSparse(); lb != 3 {
+		t.Fatalf("sparse LB = %d, want 3", lb)
+	}
+}
+
+func TestLowerBoundSparseHugeRange(t *testing.T) {
+	// A color range of a million with three intervals: the dense DP
+	// would touch every color; the sparse variant must not care.
+	inst := mustInstance(t, 1_000_000,
+		Interval{10, 999_000},
+		Interval{500_000, 500_000},
+		Interval{500_001, 500_001},
+		Interval{500_000, 500_001},
+	)
+	// Window [500000,500001] holds three intervals -> ceil(3/2) = 2.
+	if lb := inst.LowerBoundSparse(); lb != 2 {
+		t.Fatalf("sparse LB = %d, want 2", lb)
+	}
+}
+
+// TestPropertySparseMatchesDense: both Algorithm 1 implementations
+// agree on random instances.
+func TestPropertySparseMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		inst := randomInstance(r, 40, 60)
+		return inst.LowerBound() == inst.LowerBoundSparse()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySparseIsAchievable: Algorithm 2 attains the sparse bound
+// too (they are the same bound).
+func TestPropertySparseIsAchievable(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		inst := randomInstance(r, 30, 80)
+		lb := inst.LowerBoundSparse()
+		if len(inst.Intervals) == 0 {
+			return lb == 0
+		}
+		colors, err := inst.Assign(maxIntBCP(lb, 1))
+		if err != nil {
+			return false
+		}
+		bn, err := inst.CheckColoring(colors)
+		return err == nil && bn <= maxIntBCP(lb, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func maxIntBCP(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkLowerBoundSparse(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	inst := randomInstance(r, 500, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst.LowerBoundSparse()
+	}
+}

@@ -1,0 +1,157 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ParseBench reads a netlist in the ISCAS-89/ITC-99 ".bench" format:
+//
+//	# comment
+//	INPUT(G0)
+//	OUTPUT(G17)
+//	G10 = NAND(G0, G1)
+//	G17 = DFF(G10)
+//
+// Gate keywords are case-insensitive; BUF/BUFF and CONST0/CONST1 (also
+// spelled TIE0/TIE1) are accepted. Forward references are legal.
+func ParseBench(r io.Reader) (*Circuit, error) {
+	b := NewBuilder("")
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := parseBenchLine(b, line); err != nil {
+			return nil, fmt.Errorf("bench: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+func parseBenchLine(b *Builder, line string) error {
+	upper := strings.ToUpper(line)
+	switch {
+	case strings.HasPrefix(upper, "INPUT(") || strings.HasPrefix(upper, "INPUT ("):
+		name, err := parenArg(line)
+		if err != nil {
+			return err
+		}
+		return b.AddGate(name, Input)
+	case strings.HasPrefix(upper, "OUTPUT(") || strings.HasPrefix(upper, "OUTPUT ("):
+		name, err := parenArg(line)
+		if err != nil {
+			return err
+		}
+		b.MarkOutput(name)
+		return nil
+	}
+	// Assignment form: name = TYPE(args...)
+	eq := strings.Index(line, "=")
+	if eq < 0 {
+		return fmt.Errorf("unrecognized line %q", line)
+	}
+	name := strings.TrimSpace(line[:eq])
+	rhs := strings.TrimSpace(line[eq+1:])
+	open := strings.Index(rhs, "(")
+	closeIdx := strings.LastIndex(rhs, ")")
+	if open < 0 || closeIdx < open {
+		return fmt.Errorf("malformed gate expression %q", rhs)
+	}
+	typeName := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+	gt, err := gateTypeFromName(typeName)
+	if err != nil {
+		return err
+	}
+	var fanin []string
+	argStr := strings.TrimSpace(rhs[open+1 : closeIdx])
+	if argStr != "" {
+		for _, a := range strings.Split(argStr, ",") {
+			fanin = append(fanin, strings.TrimSpace(a))
+		}
+	}
+	return b.AddGate(name, gt, fanin...)
+}
+
+func parenArg(line string) (string, error) {
+	open := strings.Index(line, "(")
+	closeIdx := strings.LastIndex(line, ")")
+	if open < 0 || closeIdx < open {
+		return "", fmt.Errorf("malformed declaration %q", line)
+	}
+	name := strings.TrimSpace(line[open+1 : closeIdx])
+	if name == "" {
+		return "", fmt.Errorf("empty net name in %q", line)
+	}
+	return name, nil
+}
+
+func gateTypeFromName(s string) (GateType, error) {
+	switch s {
+	case "BUF", "BUFF":
+		return Buf, nil
+	case "NOT", "INV":
+		return Not, nil
+	case "AND":
+		return And, nil
+	case "NAND":
+		return Nand, nil
+	case "OR":
+		return Or, nil
+	case "NOR":
+		return Nor, nil
+	case "XOR":
+		return Xor, nil
+	case "XNOR":
+		return Xnor, nil
+	case "DFF":
+		return DFF, nil
+	case "CONST0", "TIE0":
+		return Const0, nil
+	case "CONST1", "TIE1":
+		return Const1, nil
+	default:
+		return Buf, fmt.Errorf("unknown gate type %q", s)
+	}
+}
+
+// WriteBench serializes the circuit in .bench format: inputs, outputs,
+// then gates in ID order. The output round-trips through ParseBench.
+func WriteBench(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	if c.Name != "" {
+		fmt.Fprintf(bw, "# %s\n", c.Name)
+	}
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d DFFs, %d gates\n",
+		len(c.PIs), len(c.POs), len(c.DFFs), c.NumLogicGates())
+	for _, id := range c.PIs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Gates[id].Name)
+	}
+	pos := append([]int(nil), c.POs...)
+	sort.Ints(pos)
+	for _, id := range pos {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Gates[id].Name)
+	}
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		if g.Type == Input {
+			continue
+		}
+		names := make([]string, len(g.Fanin))
+		for k, f := range g.Fanin {
+			names[k] = c.Gates[f].Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, g.Type, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}

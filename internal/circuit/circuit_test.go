@@ -1,0 +1,230 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+// s27ish is a small sequential netlist in .bench format used across the
+// tests: 3 PIs, 2 DFFs, a handful of gates.
+const s27ish = `
+# tiny sequential circuit
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+q0 = DFF(n2)
+q1 = DFF(n3)
+n1 = NAND(a, q0)
+n2 = NOR(b, n1)
+n3 = XOR(c, q1)
+y  = AND(n2, n3)
+`
+
+func parse(t *testing.T, src string) *Circuit {
+	t.Helper()
+	c, err := ParseBench(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestParseBenchBasic(t *testing.T) {
+	c := parse(t, s27ish)
+	if len(c.PIs) != 3 || len(c.DFFs) != 2 || len(c.POs) != 1 {
+		t.Fatalf("PIs=%d DFFs=%d POs=%d", len(c.PIs), len(c.DFFs), len(c.POs))
+	}
+	if c.NumLogicGates() != 4 {
+		t.Fatalf("logic gates = %d, want 4", c.NumLogicGates())
+	}
+	if c.NumInputs() != 5 {
+		t.Fatalf("NumInputs = %d, want 5", c.NumInputs())
+	}
+	id, ok := c.GateByName("n2")
+	if !ok || c.Gates[id].Type != Nor {
+		t.Fatalf("n2 lookup: %v %v", id, ok)
+	}
+}
+
+func TestParseBenchForwardReference(t *testing.T) {
+	// q0's fanin n2 is declared after it; must still resolve.
+	c := parse(t, s27ish)
+	q0, _ := c.GateByName("q0")
+	n2, _ := c.GateByName("n2")
+	if c.Gates[q0].Fanin[0] != n2 {
+		t.Fatal("forward reference not resolved")
+	}
+}
+
+func TestParseBenchErrors(t *testing.T) {
+	cases := []string{
+		"INPUT(a)\nINPUT(a)\n",       // duplicate
+		"n = NAND(a, b)\n",           // undeclared fanin
+		"INPUT(a)\nOUTPUT(zz)\n",     // undeclared output
+		"INPUT(a)\nn = FROB(a, a)\n", // unknown type
+		"INPUT(a)\nn = NOT(a, a)\n",  // too many fanin
+		"INPUT(a)\nn = AND(a)\n",     // too few fanin
+		"INPUT(a)\ngarbage line\n",   // unparsable
+		"INPUT(a)\nn = NAND a, a\n",  // missing parens
+		"INPUT()\n",                  // empty name
+		"INPUT(a)\nn = NOT(a\n",      // unbalanced paren
+	}
+	for _, src := range cases {
+		if _, err := ParseBench(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted bad netlist %q", src)
+		}
+	}
+}
+
+func TestParseBenchCombinationalCycle(t *testing.T) {
+	src := `
+INPUT(a)
+n1 = AND(a, n2)
+n2 = OR(a, n1)
+OUTPUT(n2)
+`
+	if _, err := ParseBench(strings.NewReader(src)); err == nil ||
+		!strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle not detected: %v", err)
+	}
+}
+
+func TestSequentialLoopIsLegal(t *testing.T) {
+	// A loop through a DFF is fine: DFFs break combinational cycles.
+	src := `
+INPUT(a)
+q = DFF(n)
+n = AND(a, q)
+OUTPUT(n)
+`
+	c := parse(t, src)
+	if c.Depth() != 1 {
+		t.Fatalf("depth = %d, want 1", c.Depth())
+	}
+}
+
+func TestLevelization(t *testing.T) {
+	c := parse(t, s27ish)
+	n1, _ := c.GateByName("n1")
+	n2, _ := c.GateByName("n2")
+	y, _ := c.GateByName("y")
+	if c.Level(n1) != 1 || c.Level(n2) != 2 || c.Level(y) != 3 {
+		t.Fatalf("levels: n1=%d n2=%d y=%d", c.Level(n1), c.Level(n2), c.Level(y))
+	}
+	// Topo order must respect fanin dependencies among logic gates.
+	pos := make(map[int]int)
+	for i, g := range c.Topo() {
+		pos[g] = i
+	}
+	if len(pos) != 4 {
+		t.Fatalf("topo has %d gates, want 4", len(pos))
+	}
+	for _, g := range c.Topo() {
+		for _, f := range c.Gates[g].Fanin {
+			if fp, ok := pos[f]; ok && fp >= pos[g] {
+				t.Fatalf("topo violates dependency %s -> %s",
+					c.Gates[f].Name, c.Gates[g].Name)
+			}
+		}
+	}
+}
+
+func TestFanoutLists(t *testing.T) {
+	c := parse(t, s27ish)
+	a, _ := c.GateByName("a")
+	n1, _ := c.GateByName("n1")
+	found := false
+	for _, f := range c.Gates[a].Fanout {
+		if f == n1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fanout of a does not include n1")
+	}
+}
+
+func TestScanInputsOutputs(t *testing.T) {
+	c := parse(t, s27ish)
+	si := c.ScanInputs()
+	if len(si) != 5 {
+		t.Fatalf("scan inputs = %d", len(si))
+	}
+	// PIs first, then FFs.
+	for i, id := range si[:3] {
+		if c.Gates[id].Type != Input {
+			t.Fatalf("scan input %d is %v", i, c.Gates[id].Type)
+		}
+	}
+	for _, id := range si[3:] {
+		if c.Gates[id].Type != DFF {
+			t.Fatalf("scan input tail is %v", c.Gates[id].Type)
+		}
+	}
+	so := c.ScanOutputs()
+	if len(so) != 3 { // 1 PO + 2 pseudo-POs
+		t.Fatalf("scan outputs = %d", len(so))
+	}
+}
+
+func TestWriteBenchRoundTrip(t *testing.T) {
+	c := parse(t, s27ish)
+	var sb strings.Builder
+	if err := WriteBench(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ParseBench(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, sb.String())
+	}
+	if c2.NumLogicGates() != c.NumLogicGates() ||
+		len(c2.PIs) != len(c.PIs) || len(c2.DFFs) != len(c.DFFs) ||
+		len(c2.POs) != len(c.POs) {
+		t.Fatal("round trip changed circuit shape")
+	}
+	for i := range c.Gates {
+		id, ok := c2.GateByName(c.Gates[i].Name)
+		if !ok || c2.Gates[id].Type != c.Gates[i].Type {
+			t.Fatalf("gate %q lost in round trip", c.Gates[i].Name)
+		}
+	}
+}
+
+func TestConstGates(t *testing.T) {
+	src := `
+INPUT(a)
+t0 = CONST0()
+t1 = TIE1()
+n = AND(a, t1)
+m = OR(n, t0)
+OUTPUT(m)
+`
+	c := parse(t, src)
+	t0, _ := c.GateByName("t0")
+	if c.Gates[t0].Type != Const0 {
+		t.Fatal("CONST0 not parsed")
+	}
+	if c.NumLogicGates() != 2 {
+		t.Fatalf("logic gates = %d, want 2", c.NumLogicGates())
+	}
+}
+
+func TestGateTypeStrings(t *testing.T) {
+	if And.String() != "AND" || DFF.String() != "DFF" || GateType(99).String() == "" {
+		t.Fatal("GateType.String")
+	}
+}
+
+func TestBuilderFaninArity(t *testing.T) {
+	b := NewBuilder("x")
+	if err := b.AddGate("i", Input); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddGate("bad", DFF); err == nil {
+		t.Fatal("DFF with no fanin accepted")
+	}
+	if err := b.AddGate("bad2", Input, "i"); err == nil {
+		t.Fatal("Input with fanin accepted")
+	}
+}

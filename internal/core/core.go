@@ -1,0 +1,231 @@
+// Package core implements DP-fill, the paper's primary contribution: an
+// optimal X-filling algorithm that minimizes the peak number of input
+// toggles between consecutive test cubes of an ordered cube set.
+//
+// The algorithm (§V–§VI of the paper):
+//
+//  1. View the cube sequence T1..Tn as an m×n trit matrix A whose rows
+//     are input pins.
+//  2. Pre-fill every equal-boundary X stretch (0X..X0 / 1X..X1) with its
+//     boundary value, and every edge stretch (leading/trailing Xs) with
+//     its single neighbouring care bit; fully-X rows become constant 0.
+//     None of these can ever force a toggle, so an optimal solution with
+//     these choices exists (§V-C preprocessing).
+//  3. Every unequal-boundary stretch (0X..X1 / 1X..X0) with care bits at
+//     columns p < q must toggle exactly once somewhere in cycles
+//     p..q-1 (cycle j = boundary between vectors j and j+1). It becomes
+//     the BCP interval [p, q-1]. Adjacent differing care bits (q = p+1)
+//     yield the unit interval [p,p]: a forced toggle. Folding forced
+//     toggles into the BCP as unit intervals is what lets Algorithm 2's
+//     optimality argument cover the whole objective.
+//  4. Solve the Bottleneck Coloring Problem optimally (package bcp) and
+//     reconstruct: an interval colored j fills columns p..j with the left
+//     care value and columns j+1..q with the right care value.
+//
+// The resulting peak equals the BCP lower bound, which is provably the
+// minimum achievable peak toggle count for the given ordering.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bcp"
+	"repro/internal/cube"
+)
+
+// ToggleInterval records one unequal-boundary stretch and its BCP
+// interval. LeftCol/RightCol are the bounding care-bit columns in the
+// cube sequence; the BCP interval is [LeftCol, RightCol-1] in cycle
+// space.
+type ToggleInterval struct {
+	// Row is the pin the stretch lives on.
+	Row int
+	// LeftCol and RightCol are the columns of the bounding care bits,
+	// LeftCol < RightCol.
+	LeftCol, RightCol int
+	// LeftVal is the care value at LeftCol (the value at RightCol is its
+	// complement).
+	LeftVal cube.Trit
+}
+
+// Interval returns the BCP interval of cycles in which the stretch's
+// single toggle may be placed.
+func (ti ToggleInterval) Interval() bcp.Interval {
+	return bcp.Interval{Start: ti.LeftCol, End: ti.RightCol - 1}
+}
+
+// Mapping is the outcome of the cube→BCP reduction: a partially filled
+// set in which only unequal-boundary stretches remain as Xs, plus the
+// interval list describing them.
+type Mapping struct {
+	// Prefilled is the set after step 2 above. All remaining X bits
+	// belong to exactly one ToggleInterval.
+	Prefilled *cube.Set
+	// Intervals lists the toggle intervals, including unit intervals for
+	// forced toggles (which contain no X bits but constrain the peak).
+	Intervals []ToggleInterval
+	// NumCycles is n-1: the number of consecutive-vector boundaries.
+	NumCycles int
+}
+
+// Map performs the reduction of §V-C on a copy of the input set. The
+// input set is not modified.
+func Map(s *cube.Set) *Mapping {
+	out := s.Clone()
+	n := out.Len()
+	m := &Mapping{Prefilled: out, NumCycles: maxInt(0, n-1)}
+
+	for i := 0; i < out.Width; i++ {
+		row := out.Row(i)
+		mapRow(i, row, m)
+		out.SetRow(i, row)
+	}
+	return m
+}
+
+// mapRow pre-fills the fillable stretches of one row in place and
+// appends its toggle intervals (including forced unit toggles) to m.
+func mapRow(rowIdx int, row []cube.Trit, m *Mapping) {
+	n := len(row)
+	// Find the care positions.
+	first := -1
+	for j := 0; j < n; j++ {
+		if row[j] != cube.X {
+			first = j
+			break
+		}
+	}
+	if first == -1 {
+		// Fully-X row: any constant works; use 0.
+		for j := range row {
+			row[j] = cube.Zero
+		}
+		return
+	}
+	// Leading Xs copy the first care bit (no toggle possible).
+	for j := 0; j < first; j++ {
+		row[j] = row[first]
+	}
+	// Walk consecutive care-bit pairs.
+	prev := first
+	for j := first + 1; j < n; j++ {
+		if row[j] == cube.X {
+			continue
+		}
+		if row[prev] == row[j] {
+			// Equal boundaries: pre-fill with the common value.
+			for t := prev + 1; t < j; t++ {
+				row[t] = row[prev]
+			}
+		} else {
+			// Unequal boundaries: one toggle somewhere in cycles
+			// prev..j-1. Keep the Xs; reconstruction fills them.
+			m.Intervals = append(m.Intervals, ToggleInterval{
+				Row: rowIdx, LeftCol: prev, RightCol: j, LeftVal: row[prev],
+			})
+		}
+		prev = j
+	}
+	// Trailing Xs copy the last care bit.
+	for j := prev + 1; j < n; j++ {
+		row[j] = row[prev]
+	}
+}
+
+// Result summarizes a DP-fill run.
+type Result struct {
+	// Peak is the achieved peak toggle count — optimal for the ordering.
+	Peak int
+	// LowerBound is the Algorithm 1 bound; always equals Peak.
+	LowerBound int
+	// NumIntervals is the number of BCP intervals, counting forced unit
+	// toggles.
+	NumIntervals int
+	// ForcedUnit is how many of the intervals were forced (adjacent
+	// differing care bits with no X between them).
+	ForcedUnit int
+	// Profile is the per-cycle toggle count of the filled set.
+	Profile []int
+}
+
+// Fill runs the complete DP-fill algorithm on the ordered set s and
+// returns a fully specified set achieving the minimum possible peak
+// toggle count for that ordering, together with run statistics. The
+// input set is not modified.
+func Fill(s *cube.Set) (*cube.Set, *Result, error) {
+	mp := Map(s)
+	intervals := make([]bcp.Interval, len(mp.Intervals))
+	forced := 0
+	for i, ti := range mp.Intervals {
+		intervals[i] = ti.Interval()
+		if ti.RightCol == ti.LeftCol+1 {
+			forced++
+		}
+	}
+	inst, err := bcp.NewInstance(mp.NumCycles, intervals)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: building BCP instance: %w", err)
+	}
+	sol, err := inst.Solve()
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: solving BCP: %w", err)
+	}
+	filled := Reconstruct(mp, sol.Colors)
+	res := &Result{
+		Peak:         filled.PeakToggles(),
+		LowerBound:   sol.LowerBound,
+		NumIntervals: len(intervals),
+		ForcedUnit:   forced,
+		Profile:      filled.ToggleProfile(),
+	}
+	if res.Peak != sol.LowerBound {
+		// Cannot happen if the optimality theorem holds; guard anyway so
+		// corruption is loud rather than silently sub-optimal.
+		return nil, nil, fmt.Errorf("core: reconstruction peak %d != lower bound %d",
+			res.Peak, sol.LowerBound)
+	}
+	return filled, res, nil
+}
+
+// Bottleneck computes the optimal peak toggle count of the ordering
+// without materializing the filled set. It is the evaluation primitive
+// Algorithm 3 (I-Ordering) calls once per candidate interleaving.
+func Bottleneck(s *cube.Set) (int, error) {
+	mp := Map(s)
+	intervals := make([]bcp.Interval, len(mp.Intervals))
+	for i, ti := range mp.Intervals {
+		intervals[i] = ti.Interval()
+	}
+	inst, err := bcp.NewInstance(mp.NumCycles, intervals)
+	if err != nil {
+		return 0, err
+	}
+	return inst.LowerBound(), nil
+}
+
+// Reconstruct applies §V-D: given the mapping and a BCP coloring (one
+// color per interval, in the order of mp.Intervals), it fills the
+// remaining Xs and returns the fully specified set. The toggle of
+// interval colored j lands between vectors j and j+1.
+func Reconstruct(mp *Mapping, colors []int) *cube.Set {
+	out := mp.Prefilled.Clone()
+	for i, ti := range mp.Intervals {
+		j := colors[i]
+		left := ti.LeftVal
+		right := left.Neg()
+		for col := ti.LeftCol + 1; col <= j; col++ {
+			out.Cubes[col][ti.Row] = left
+		}
+		for col := j + 1; col < ti.RightCol; col++ {
+			out.Cubes[col][ti.Row] = right
+		}
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cube"
+)
+
+// FillWindowed is a streaming variant of Fill for very long pattern
+// sequences: the set is processed in windows of windowSize vectors with
+// one vector of overlap, each window solved optimally by the exact BCP
+// machinery. Memory and the BCP color range are bounded by the window
+// instead of the whole sequence, at the cost of optimality: intervals
+// are clipped at window seams, so the achieved peak can exceed the
+// global optimum (never by more than the number of rows crossing a
+// seam; in practice the gap is small — TestWindowedGapIsModest and
+// BenchmarkFillWindowed quantify it).
+//
+// This addresses the scalability question a production deployment hits
+// when n reaches tens of thousands of patterns and the O(C²) lower
+// bound of the monolithic solve dominates.
+func FillWindowed(s *cube.Set, windowSize int) (*cube.Set, *Result, error) {
+	if windowSize < 2 {
+		return nil, nil, fmt.Errorf("core: window size %d < 2", windowSize)
+	}
+	n := s.Len()
+	if n <= windowSize {
+		return Fill(s)
+	}
+	out := cube.NewSet(s.Width)
+	intervals := 0
+	forced := 0
+	// Process [base, base+windowSize); the next window starts at the
+	// last vector of this one, whose filled values become its fixed
+	// first column — this stitches windows without double-filling.
+	var carry cube.Cube
+	for base := 0; base < n-1; base += windowSize - 1 {
+		hi := base + windowSize
+		if hi > n {
+			hi = n
+		}
+		win := cube.NewSet(s.Width)
+		if carry == nil {
+			win.Append(s.Cubes[base].Clone())
+		} else {
+			win.Append(carry) // fully specified seam vector
+		}
+		for j := base + 1; j < hi; j++ {
+			win.Append(s.Cubes[j].Clone())
+		}
+		filled, res, err := Fill(win)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: window at %d: %w", base, err)
+		}
+		intervals += res.NumIntervals
+		forced += res.ForcedUnit
+		start := 0
+		if carry != nil {
+			start = 1 // seam vector already emitted by the previous window
+		}
+		for j := start; j < filled.Len(); j++ {
+			out.Append(filled.Cubes[j])
+		}
+		carry = filled.Cubes[filled.Len()-1]
+		if hi == n {
+			break
+		}
+	}
+	res := &Result{
+		Peak:         out.PeakToggles(),
+		NumIntervals: intervals,
+		ForcedUnit:   forced,
+		Profile:      out.ToggleProfile(),
+	}
+	// The windowed peak is only a heuristic; report the true lower
+	// bound of the whole sequence so callers can see the gap.
+	lb, err := Bottleneck(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.LowerBound = lb
+	return out, res, nil
+}

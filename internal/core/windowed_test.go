@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cube"
+)
+
+func TestFillWindowedSmallEqualsExact(t *testing.T) {
+	// When the window covers the whole set, results must match Fill.
+	s := cube.MustParseSet("0X1X", "XXXX", "1X0X", "XX11")
+	exact, res, err := Fill(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win, wres, err := FillWindowed(s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact.Equal(win) || wres.Peak != res.Peak {
+		t.Fatalf("windowed(all) differs from exact: %d vs %d", wres.Peak, res.Peak)
+	}
+}
+
+func TestFillWindowedRejectsTinyWindow(t *testing.T) {
+	if _, _, err := FillWindowed(cube.MustParseSet("0", "1"), 1); err == nil {
+		t.Fatal("window size 1 accepted")
+	}
+}
+
+func TestFillWindowedCoversInput(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	s := randomSet(r, 8, 40, 0.6)
+	for _, w := range []int{2, 3, 5, 8, 40} {
+		out, res, err := FillWindowed(s, w)
+		if err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		if out.Len() != s.Len() {
+			t.Fatalf("w=%d: emitted %d of %d vectors", w, out.Len(), s.Len())
+		}
+		if !s.Covers(out) {
+			t.Fatalf("w=%d: not a completion", w)
+		}
+		if res.Peak < res.LowerBound {
+			t.Fatalf("w=%d: peak %d below global LB %d", w, res.Peak, res.LowerBound)
+		}
+	}
+}
+
+// TestPropertyWindowedNeverBeatsExact: the streaming fill can only be
+// worse than (or equal to) the monolithic optimum, and both are legal
+// completions.
+func TestPropertyWindowedNeverBeatsExact(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSet(r, 1+r.Intn(8), 4+r.Intn(30), 0.6)
+		w := 2 + r.Intn(8)
+		win, wres, err := FillWindowed(s, w)
+		if err != nil {
+			return false
+		}
+		_, exact, err := Fill(s)
+		if err != nil {
+			return false
+		}
+		return s.Covers(win) && wres.Peak >= exact.Peak && wres.LowerBound == exact.Peak
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWindowedGapIsModest: on X-rich sets the seam penalty stays small
+// relative to the optimum (regression guard for the streaming mode).
+func TestWindowedGapIsModest(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	s := randomSet(r, 64, 256, 0.8)
+	_, exact, err := Fill(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wres, err := FillWindowed(s, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wres.Peak > 2*exact.Peak+2 {
+		t.Fatalf("windowed peak %d vs exact %d: seam penalty too large",
+			wres.Peak, exact.Peak)
+	}
+	t.Logf("windowed(32) peak %d vs exact %d", wres.Peak, exact.Peak)
+}
+
+func BenchmarkFillWindowed(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	s := randomSet(r, 256, 2000, 0.8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := FillWindowed(s, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,411 @@
+package cube
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseTrit(t *testing.T) {
+	cases := []struct {
+		in      rune
+		want    Trit
+		wantErr bool
+	}{
+		{'0', Zero, false},
+		{'1', One, false},
+		{'X', X, false},
+		{'x', X, false},
+		{'-', X, false},
+		{'2', X, true},
+		{' ', X, true},
+		{'z', X, true},
+	}
+	for _, c := range cases {
+		got, err := ParseTrit(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseTrit(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if !c.wantErr && got != c.want {
+			t.Errorf("ParseTrit(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTritNeg(t *testing.T) {
+	if Zero.Neg() != One || One.Neg() != Zero || X.Neg() != X {
+		t.Fatalf("Neg: got 0->%v 1->%v X->%v", Zero.Neg(), One.Neg(), X.Neg())
+	}
+}
+
+func TestTritIsCare(t *testing.T) {
+	if !Zero.IsCare() || !One.IsCare() || X.IsCare() {
+		t.Fatal("IsCare misclassifies")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, s := range []string{"0", "1", "X", "01X", "XXXX", "010101", "1X0X1X0"} {
+		c, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if got := c.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse("01g"); err == nil {
+		t.Error("Parse accepted invalid character")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic on bad input")
+		}
+	}()
+	MustParse("0q1")
+}
+
+func TestNewIsAllX(t *testing.T) {
+	c := New(5)
+	if c.XCount() != 5 || len(c) != 5 {
+		t.Fatalf("New(5) = %v", c)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := MustParse("0X1")
+	d := c.Clone()
+	d[0] = One
+	if c[0] != Zero {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestXCountCareCount(t *testing.T) {
+	c := MustParse("0X1XX")
+	if c.XCount() != 3 || c.CareCount() != 2 {
+		t.Fatalf("XCount=%d CareCount=%d", c.XCount(), c.CareCount())
+	}
+	if c.FullySpecified() {
+		t.Error("FullySpecified true with Xs present")
+	}
+	if !MustParse("0101").FullySpecified() {
+		t.Error("FullySpecified false with no Xs")
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"0000", "0000", 0},
+		{"0000", "1111", 4},
+		{"0X0X", "1X1X", 2},
+		{"XXXX", "1111", 0},
+		{"01X1", "0011", 1},
+	}
+	for _, c := range cases {
+		a, b := MustParse(c.a), MustParse(c.b)
+		if got := a.HammingDistance(b); got != c.want {
+			t.Errorf("hd(%s,%s) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := b.HammingDistance(a); got != c.want {
+			t.Errorf("hd symmetric (%s,%s) = %d, want %d", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestHammingDistancePanicsOnWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on width mismatch")
+		}
+	}()
+	MustParse("01").HammingDistance(MustParse("011"))
+}
+
+func TestPotentialDistance(t *testing.T) {
+	a, b := MustParse("0X01"), MustParse("00X1")
+	// pos0: 0/0 no; pos1: X/0 possible; pos2: 0/X possible; pos3: equal.
+	if got := a.PotentialDistance(b); got != 2 {
+		t.Fatalf("PotentialDistance = %d, want 2", got)
+	}
+}
+
+func TestExpectedDistance(t *testing.T) {
+	a, b := MustParse("0X1"), MustParse("1XX")
+	// pos0 differ: 1; pos1 X-X: 0.5; pos2 one X: 0.5.
+	if got := a.ExpectedDistance(b); got != 2.0 {
+		t.Fatalf("ExpectedDistance = %v, want 2.0", got)
+	}
+}
+
+func TestCompatible(t *testing.T) {
+	if !MustParse("0X1").Compatible(MustParse("0XX")) {
+		t.Error("compatible cubes reported incompatible")
+	}
+	if MustParse("0X1").Compatible(MustParse("1XX")) {
+		t.Error("incompatible cubes reported compatible")
+	}
+	if MustParse("01").Compatible(MustParse("011")) {
+		t.Error("different widths reported compatible")
+	}
+}
+
+func TestSetAppendAndLen(t *testing.T) {
+	s := NewSet(3)
+	s.Append(MustParse("0X1"))
+	s.Append(MustParse("111"))
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestSetAppendWidthPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic appending wrong width")
+		}
+	}()
+	NewSet(3).Append(MustParse("01"))
+}
+
+func TestSetRowRoundTrip(t *testing.T) {
+	s := MustParseSet("01X", "1X0", "X10")
+	row := s.Row(1) // pin 1 across cubes: 1, X, 1
+	want := []Trit{One, X, One}
+	for i := range want {
+		if row[i] != want[i] {
+			t.Fatalf("Row(1) = %v, want %v", row, want)
+		}
+	}
+	row[1] = Zero
+	s.SetRow(1, row)
+	if s.Cubes[1][1] != Zero {
+		t.Error("SetRow did not write back")
+	}
+}
+
+func TestSetReorder(t *testing.T) {
+	s := MustParseSet("00", "01", "10")
+	r := s.Reorder([]int{2, 0, 1})
+	if r.Cubes[0].String() != "10" || r.Cubes[1].String() != "00" || r.Cubes[2].String() != "01" {
+		t.Fatalf("Reorder = %v", r.Cubes)
+	}
+}
+
+func TestSetReorderRejectsNonPermutation(t *testing.T) {
+	s := MustParseSet("00", "01")
+	for _, perm := range [][]int{{0, 0}, {0, 2}, {0}, {-1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Reorder(%v) did not panic", perm)
+				}
+			}()
+			s.Reorder(perm)
+		}()
+	}
+}
+
+func TestXPercent(t *testing.T) {
+	s := MustParseSet("0X", "XX")
+	if got := s.XPercent(); got != 75 {
+		t.Fatalf("XPercent = %v, want 75", got)
+	}
+	if got := NewSet(4).XPercent(); got != 0 {
+		t.Fatalf("empty XPercent = %v", got)
+	}
+}
+
+func TestToggleProfileAndPeak(t *testing.T) {
+	s := MustParseSet("000", "011", "111", "111")
+	prof := s.ToggleProfile()
+	want := []int{2, 1, 0}
+	for i := range want {
+		if prof[i] != want[i] {
+			t.Fatalf("profile = %v, want %v", prof, want)
+		}
+	}
+	if s.PeakToggles() != 2 {
+		t.Fatalf("peak = %d, want 2", s.PeakToggles())
+	}
+	if s.TotalToggles() != 3 {
+		t.Fatalf("total = %d, want 3", s.TotalToggles())
+	}
+}
+
+func TestPeakTogglesDegenerate(t *testing.T) {
+	if MustParseSet("01").PeakToggles() != 0 {
+		t.Error("single-cube set must have peak 0")
+	}
+	if MustParseSet("01").ToggleProfile() != nil {
+		t.Error("single-cube set must have nil profile")
+	}
+}
+
+func TestCovers(t *testing.T) {
+	spec := MustParseSet("0X1", "XX0")
+	good := MustParseSet("001", "110")
+	if !spec.Covers(good) {
+		t.Error("legal completion rejected")
+	}
+	flip := MustParseSet("001", "111") // flips cube 1's specified 0
+	if spec.Covers(flip) {
+		t.Error("care-bit violation accepted")
+	}
+	withX := MustParseSet("0X1", "110")
+	if spec.Covers(withX) {
+		t.Error("incomplete fill accepted")
+	}
+	short := MustParseSet("001")
+	if spec.Covers(short) {
+		t.Error("wrong shape accepted")
+	}
+}
+
+func TestReadWriteSet(t *testing.T) {
+	s := MustParseSet("0X1", "111", "X0X")
+	var sb strings.Builder
+	if err := s.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSet(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(got) {
+		t.Fatalf("round trip mismatch:\n%v\nvs\n%v", s, got)
+	}
+}
+
+func TestReadSetSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n0X1\n  111  \n# done\n"
+	got, err := ReadSet(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || got.Cubes[0].String() != "0X1" {
+		t.Fatalf("parsed %v", got)
+	}
+}
+
+func TestReadSetErrors(t *testing.T) {
+	if _, err := ReadSet(strings.NewReader("")); err == nil {
+		t.Error("empty file accepted")
+	}
+	if _, err := ReadSet(strings.NewReader("01\n011\n")); err == nil {
+		t.Error("ragged widths accepted")
+	}
+	if _, err := ReadSet(strings.NewReader("01\n0z\n")); err == nil {
+		t.Error("bad character accepted")
+	}
+}
+
+func TestParseSetErrors(t *testing.T) {
+	if _, err := ParseSet(); err == nil {
+		t.Error("no-cube ParseSet accepted")
+	}
+	if _, err := ParseSet("01", "011"); err == nil {
+		t.Error("ragged ParseSet accepted")
+	}
+}
+
+func TestSetEqualAndClone(t *testing.T) {
+	s := MustParseSet("0X", "11")
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Cubes[0][0] = One
+	if s.Equal(c) {
+		t.Fatal("Equal ignores trit difference")
+	}
+	if s.Cubes[0][0] != Zero {
+		t.Fatal("clone shares cube storage")
+	}
+}
+
+// randomCube builds a width-w cube with the given X probability.
+func randomCube(rng *rand.Rand, w int, xProb float64) Cube {
+	c := make(Cube, w)
+	for i := range c {
+		switch {
+		case rng.Float64() < xProb:
+			c[i] = X
+		case rng.Intn(2) == 0:
+			c[i] = Zero
+		default:
+			c[i] = One
+		}
+	}
+	return c
+}
+
+// RandomSet builds a reproducible random set; shared by tests in other
+// packages via copy, kept here as the reference generator.
+func randomSet(rng *rand.Rand, width, n int, xProb float64) *Set {
+	s := NewSet(width)
+	for i := 0; i < n; i++ {
+		s.Append(randomCube(rng, width, xProb))
+	}
+	return s
+}
+
+func TestPropertyHammingTriangleOverSpecified(t *testing.T) {
+	// For fully specified cubes Hamming distance obeys the triangle
+	// inequality.
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := 1 + r.Intn(16)
+		a := randomCube(rng, w, 0)
+		b := randomCube(rng, w, 0)
+		c := randomCube(rng, w, 0)
+		return a.HammingDistance(c) <= a.HammingDistance(b)+b.HammingDistance(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDistanceBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := 1 + r.Intn(24)
+		a := randomCube(r, w, 0.5)
+		b := randomCube(r, w, 0.5)
+		hd := a.HammingDistance(b)
+		pd := a.PotentialDistance(b)
+		ed := a.ExpectedDistance(b)
+		return hd <= pd && float64(hd) <= ed && ed <= float64(pd)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyWriteReadRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSet(r, 1+r.Intn(20), 1+r.Intn(20), 0.6)
+		var sb strings.Builder
+		if err := s.Write(&sb); err != nil {
+			return false
+		}
+		got, err := ReadSet(strings.NewReader(sb.String()))
+		return err == nil && s.Equal(got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,82 @@
+package cube
+
+import "math/bits"
+
+// Packed is a bit-packed view of a Set for fast pairwise distance
+// queries: each cube becomes a (care-mask, value) pair of uint64 words,
+// so Hamming and expected distances reduce to a handful of popcounts per
+// 64 pins. Orderings that evaluate O(n²) cube pairs (nearest-neighbour
+// chains, simulated annealing) build a Packed once and query it.
+//
+// Packed is a snapshot: later mutations of the source Set are not
+// reflected.
+type Packed struct {
+	// Width is the cube width in pins; Words is ceil(Width/64).
+	Width, Words int
+	n            int
+	care         [][]uint64 // care[i][w]: bit set where cube i pin is specified
+	val          [][]uint64 // val[i][w]: bit set where cube i pin is One
+	careCount    []int
+}
+
+// Pack builds the packed snapshot of s.
+func Pack(s *Set) *Packed {
+	words := (s.Width + 63) / 64
+	p := &Packed{
+		Width: s.Width, Words: words, n: s.Len(),
+		care:      make([][]uint64, s.Len()),
+		val:       make([][]uint64, s.Len()),
+		careCount: make([]int, s.Len()),
+	}
+	for i, c := range s.Cubes {
+		care := make([]uint64, words)
+		val := make([]uint64, words)
+		for pin, t := range c {
+			if t == X {
+				continue
+			}
+			care[pin/64] |= 1 << (pin % 64)
+			if t == One {
+				val[pin/64] |= 1 << (pin % 64)
+			}
+		}
+		p.care[i], p.val[i] = care, val
+		p.careCount[i] = c.CareCount()
+	}
+	return p
+}
+
+// Len returns the number of cubes in the snapshot.
+func (p *Packed) Len() int { return p.n }
+
+// CareCount returns the number of specified bits of cube i.
+func (p *Packed) CareCount(i int) int { return p.careCount[i] }
+
+// HD returns the guaranteed toggle count between cubes i and j: the
+// number of jointly specified differing pins.
+func (p *Packed) HD(i, j int) int {
+	ci, cj := p.care[i], p.care[j]
+	vi, vj := p.val[i], p.val[j]
+	d := 0
+	for w := 0; w < p.Words; w++ {
+		d += bits.OnesCount64((vi[w] ^ vj[w]) & ci[w] & cj[w])
+	}
+	return d
+}
+
+// XUnion returns the number of pins where at least one of cubes i, j is
+// X — the filler's freedom between the pair.
+func (p *Packed) XUnion(i, j int) int {
+	both := 0
+	for w := 0; w < p.Words; w++ {
+		both += bits.OnesCount64(p.care[i][w] & p.care[j][w])
+	}
+	return p.Width - both
+}
+
+// Expected2 returns twice the expected Hamming distance between cubes i
+// and j under uniform random filling (doubling keeps it integral:
+// jointly specified differing pins count 2, pins with any X count 1).
+func (p *Packed) Expected2(i, j int) int {
+	return 2*p.HD(i, j) + p.XUnion(i, j)
+}

@@ -1,0 +1,63 @@
+package cube
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackMatchesScalarDistances(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSet(r, 1+r.Intn(200), 2+r.Intn(8), 0.5)
+		p := Pack(s)
+		for i := 0; i < s.Len(); i++ {
+			if p.CareCount(i) != s.Cubes[i].CareCount() {
+				return false
+			}
+			for j := 0; j < s.Len(); j++ {
+				if p.HD(i, j) != s.Cubes[i].HammingDistance(s.Cubes[j]) {
+					return false
+				}
+				want2 := 2 * s.Cubes[i].ExpectedDistance(s.Cubes[j])
+				if float64(p.Expected2(i, j)) != want2 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackSnapshotSemantics(t *testing.T) {
+	s := MustParseSet("0X", "11")
+	p := Pack(s)
+	s.Cubes[0][0] = One // mutate after packing
+	if p.HD(0, 1) != 1 {
+		t.Fatalf("packed view changed with source mutation: HD=%d", p.HD(0, 1))
+	}
+}
+
+func TestPackWordBoundary(t *testing.T) {
+	// Width 65 exercises the second word.
+	a := New(65)
+	b := New(65)
+	a[64] = Zero
+	b[64] = One
+	s := NewSet(65)
+	s.Append(a)
+	s.Append(b)
+	p := Pack(s)
+	if p.Words != 2 {
+		t.Fatalf("Words = %d", p.Words)
+	}
+	if p.HD(0, 1) != 1 {
+		t.Fatalf("HD across word boundary = %d", p.HD(0, 1))
+	}
+	if p.XUnion(0, 1) != 64 {
+		t.Fatalf("XUnion = %d, want 64", p.XUnion(0, 1))
+	}
+}

@@ -1,0 +1,116 @@
+package cube
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteSTIL serializes the set in a minimal STIL-flavoured pattern
+// block (IEEE 1450-style), the exchange format testers and commercial
+// ATPG tools speak. Only the subset needed to carry ordered scan-load
+// vectors is emitted: a SignalGroups header naming the flat scan-input
+// bus and one Pattern statement per cube. Don't-cares use STIL's 'N'.
+//
+// The output is for interoperability demos and golden files; ReadSTIL
+// parses the same subset back.
+func WriteSTIL(w io.Writer, s *Set, design string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "STIL 1.0;\n")
+	fmt.Fprintf(bw, "Header { Title %q; }\n", design)
+	fmt.Fprintf(bw, "Signals { si[0..%d] In; }\n", s.Width-1)
+	fmt.Fprintf(bw, "SignalGroups { all = 'si[0..%d]'; }\n", s.Width-1)
+	fmt.Fprintf(bw, "Pattern scan_load {\n")
+	for i, c := range s.Cubes {
+		fmt.Fprintf(bw, "  V%d: V { all = %s; }\n", i, stilString(c))
+	}
+	fmt.Fprintf(bw, "}\n")
+	return bw.Flush()
+}
+
+func stilString(c Cube) string {
+	b := make([]byte, len(c))
+	for i, t := range c {
+		switch t {
+		case Zero:
+			b[i] = '0'
+		case One:
+			b[i] = '1'
+		default:
+			b[i] = 'N'
+		}
+	}
+	return string(b)
+}
+
+// ReadSTIL parses the subset WriteSTIL emits and returns the cube set.
+// It is intentionally strict: anything outside the emitted shape is an
+// error, so golden files cannot drift silently.
+func ReadSTIL(r io.Reader) (*Set, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	var set *Set
+	line := 0
+	inPattern := false
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		switch {
+		case !inPattern:
+			if hasPrefixTrim(text, "Pattern ") {
+				inPattern = true
+			}
+			continue
+		case hasPrefixTrim(text, "}"):
+			if set == nil {
+				return nil, fmt.Errorf("stil: empty pattern block")
+			}
+			return set, nil
+		}
+		// "  V3: V { all = 01N0; }"
+		var idx int
+		var vec string
+		if _, err := fmt.Sscanf(text, "  V%d: V { all = %s", &idx, &vec); err != nil {
+			return nil, fmt.Errorf("stil: line %d: %v", line, err)
+		}
+		vec = trimSuffixSemicolon(vec)
+		c := make(Cube, 0, len(vec))
+		for _, r := range vec {
+			switch r {
+			case '0':
+				c = append(c, Zero)
+			case '1':
+				c = append(c, One)
+			case 'N', 'X':
+				c = append(c, X)
+			default:
+				return nil, fmt.Errorf("stil: line %d: bad symbol %q", line, r)
+			}
+		}
+		if set == nil {
+			set = NewSet(len(c))
+		}
+		if len(c) != set.Width {
+			return nil, fmt.Errorf("stil: line %d: width %d, want %d", line, len(c), set.Width)
+		}
+		set.Append(c)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("stil: unterminated pattern block")
+}
+
+func hasPrefixTrim(s, prefix string) bool {
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t') {
+		s = s[1:]
+	}
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}
+
+func trimSuffixSemicolon(s string) string {
+	for len(s) > 0 && (s[len(s)-1] == ';' || s[len(s)-1] == ' ' || s[len(s)-1] == '}') {
+		s = s[:len(s)-1]
+	}
+	return s
+}

@@ -1,0 +1,61 @@
+package cube
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSTILRoundTrip(t *testing.T) {
+	s := MustParseSet("0X1", "111", "X0X")
+	var sb strings.Builder
+	if err := WriteSTIL(&sb, s, "demo"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"STIL 1.0;", "Title \"demo\";", "si[0..2]", "Pattern scan_load"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("STIL output missing %q:\n%s", want, out)
+		}
+	}
+	got, err := ReadSTIL(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(got) {
+		t.Fatalf("round trip mismatch:\n%v\nvs\n%v", s, got)
+	}
+}
+
+func TestReadSTILErrors(t *testing.T) {
+	cases := []string{
+		"",                            // no pattern block
+		"Pattern p {\n",               // unterminated
+		"Pattern p {\n}\n",            // empty
+		"Pattern p {\n  garbage\n}\n", // unparsable vector line
+		"Pattern p {\n  V0: V { all = 0Z; }\n}\n",                         // bad symbol
+		"Pattern p {\n  V0: V { all = 01; }\n  V1: V { all = 011; }\n}\n", // ragged
+	}
+	for _, src := range cases {
+		if _, err := ReadSTIL(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestPropertySTILRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSet(r, 1+r.Intn(30), 1+r.Intn(20), 0.5)
+		var sb strings.Builder
+		if err := WriteSTIL(&sb, s, "prop"); err != nil {
+			return false
+		}
+		got, err := ReadSTIL(strings.NewReader(sb.String()))
+		return err == nil && s.Equal(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

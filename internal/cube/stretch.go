@@ -1,0 +1,100 @@
+package cube
+
+// Stretch describes one maximal run of X bits inside a row of the matrix
+// A (§V-C), together with the specified bits bounding it. Stretches drive
+// both the DP-fill interval construction and the don't-care statistics of
+// Fig. 2(c).
+type Stretch struct {
+	// Row is the pin index the stretch belongs to.
+	Row int
+	// Start and End delimit the X run: columns Start..End inclusive are
+	// all X. Start <= End.
+	Start, End int
+	// Left is the specified trit at column Start-1, or X if the run
+	// touches the left edge of the row.
+	Left Trit
+	// Right is the specified trit at column End+1, or X if the run
+	// touches the right edge of the row.
+	Right Trit
+}
+
+// Len returns the number of X bits in the stretch.
+func (st Stretch) Len() int { return st.End - st.Start + 1 }
+
+// Kind classifies a stretch by its boundaries.
+type Kind uint8
+
+// Stretch kinds. Equal-boundary stretches are pre-filled by DP-fill's
+// preprocessing; unequal-boundary stretches become BCP intervals; edge
+// stretches copy their single boundary; free stretches (whole row X) can
+// take any constant.
+const (
+	KindEqual   Kind = iota // 0X..X0 or 1X..X1
+	KindUnequal             // 0X..X1 or 1X..X0
+	KindLeft                // X..Xb — run touches the left edge
+	KindRight               // bX..X — run touches the right edge
+	KindFree                // the entire row is X
+)
+
+// Kind returns the stretch classification.
+func (st Stretch) Kind() Kind {
+	switch {
+	case st.Left == X && st.Right == X:
+		return KindFree
+	case st.Left == X:
+		return KindLeft
+	case st.Right == X:
+		return KindRight
+	case st.Left == st.Right:
+		return KindEqual
+	default:
+		return KindUnequal
+	}
+}
+
+// RowStretches scans one row and returns its maximal X runs in
+// left-to-right order.
+func RowStretches(rowIdx int, row []Trit) []Stretch {
+	var out []Stretch
+	n := len(row)
+	for j := 0; j < n; {
+		if row[j] != X {
+			j++
+			continue
+		}
+		start := j
+		for j < n && row[j] == X {
+			j++
+		}
+		st := Stretch{Row: rowIdx, Start: start, End: j - 1, Left: X, Right: X}
+		if start > 0 {
+			st.Left = row[start-1]
+		}
+		if j < n {
+			st.Right = row[j]
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// Stretches returns every maximal X run in the set, scanning rows in pin
+// order.
+func (s *Set) Stretches() []Stretch {
+	var out []Stretch
+	for i := 0; i < s.Width; i++ {
+		out = append(out, RowStretches(i, s.Row(i))...)
+	}
+	return out
+}
+
+// StretchLengths returns a histogram of stretch lengths: index L holds
+// the number of maximal X runs of exactly L bits (index 0 is unused).
+// This is the statistic plotted in Fig. 2(c).
+func (s *Set) StretchLengths() []int {
+	hist := make([]int, len(s.Cubes)+1)
+	for _, st := range s.Stretches() {
+		hist[st.Len()]++
+	}
+	return hist
+}

@@ -1,0 +1,110 @@
+package cube
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRowStretchesBasic(t *testing.T) {
+	row := MustParse("0XX1X0XX")
+	got := RowStretches(3, row)
+	if len(got) != 3 {
+		t.Fatalf("got %d stretches: %+v", len(got), got)
+	}
+	want := []Stretch{
+		{Row: 3, Start: 1, End: 2, Left: Zero, Right: One},
+		{Row: 3, Start: 4, End: 4, Left: One, Right: Zero},
+		{Row: 3, Start: 6, End: 7, Left: Zero, Right: X},
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("stretch %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRowStretchesNone(t *testing.T) {
+	if got := RowStretches(0, MustParse("0101")); len(got) != 0 {
+		t.Fatalf("fully specified row produced stretches: %+v", got)
+	}
+}
+
+func TestRowStretchesAllX(t *testing.T) {
+	got := RowStretches(0, MustParse("XXX"))
+	if len(got) != 1 || got[0].Kind() != KindFree || got[0].Len() != 3 {
+		t.Fatalf("all-X row: %+v", got)
+	}
+}
+
+func TestStretchKinds(t *testing.T) {
+	cases := []struct {
+		row  string
+		want []Kind
+	}{
+		{"0X0", []Kind{KindEqual}},
+		{"1X1", []Kind{KindEqual}},
+		{"0X1", []Kind{KindUnequal}},
+		{"1X0", []Kind{KindUnequal}},
+		{"X1", []Kind{KindLeft}},
+		{"1X", []Kind{KindRight}},
+		{"XX", []Kind{KindFree}},
+		{"X0X1X", []Kind{KindLeft, KindUnequal, KindRight}},
+	}
+	for _, c := range cases {
+		sts := RowStretches(0, MustParse(c.row))
+		if len(sts) != len(c.want) {
+			t.Errorf("%q: %d stretches, want %d", c.row, len(sts), len(c.want))
+			continue
+		}
+		for i, st := range sts {
+			if st.Kind() != c.want[i] {
+				t.Errorf("%q stretch %d kind = %v, want %v", c.row, i, st.Kind(), c.want[i])
+			}
+		}
+	}
+}
+
+func TestSetStretchesAndHistogram(t *testing.T) {
+	s := MustParseSet("0X", "XX", "10") // rows: pin0 = 0,X,1 ; pin1 = X,X,0
+	sts := s.Stretches()
+	if len(sts) != 2 {
+		t.Fatalf("stretches = %+v", sts)
+	}
+	hist := s.StretchLengths()
+	if hist[1] != 1 || hist[2] != 1 {
+		t.Fatalf("histogram = %v", hist)
+	}
+}
+
+func TestPropertyStretchesCoverAllXs(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSet(r, 1+r.Intn(12), 2+r.Intn(12), 0.5)
+		covered := 0
+		for _, st := range s.Stretches() {
+			if st.Start > st.End {
+				return false
+			}
+			// Every position inside a stretch must be X.
+			row := s.Row(st.Row)
+			for j := st.Start; j <= st.End; j++ {
+				if row[j] != X {
+					return false
+				}
+			}
+			// Boundaries must match the row contents.
+			if st.Start > 0 && row[st.Start-1] != st.Left {
+				return false
+			}
+			if st.End < s.Len()-1 && row[st.End+1] != st.Right {
+				return false
+			}
+			covered += st.Len()
+		}
+		return covered == s.XCount()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/atpg"
+	"repro/internal/cube"
+	"repro/internal/netgen"
+)
+
+func TestCacheSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	p, _ := netgen.ProfileByName("b01")
+	cfg := DefaultConfig()
+	key := cacheKey(p, cfg)
+	path := cachePath(dir, p, cfg)
+
+	set := cube.MustParseSet("0X1", "1XX", "XX0")
+	st := atpg.Stats{TotalFaults: 10, Detected: 8, Untestable: 1, Aborted: 1,
+		Patterns: 3, DroppedBySim: 2, Merged: 4}
+	if err := saveCache(path, key, set, st); err != nil {
+		t.Fatal(err)
+	}
+	got, gotSt, ok := loadCache(path, key)
+	if !ok {
+		t.Fatal("cache miss after save")
+	}
+	if !got.Equal(set) {
+		t.Fatalf("cached set differs:\n%v\nvs\n%v", got, set)
+	}
+	if gotSt != st {
+		t.Fatalf("stats %+v, want %+v", gotSt, st)
+	}
+}
+
+func TestCacheKeyMismatchIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	p, _ := netgen.ProfileByName("b01")
+	cfg := DefaultConfig()
+	path := cachePath(dir, p, cfg)
+	set := cube.MustParseSet("01")
+	if err := saveCache(path, cacheKey(p, cfg), set, atpg.Stats{Patterns: 1}); err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.Seed = 999
+	if _, _, ok := loadCache(path, cacheKey(p, other)); ok {
+		t.Fatal("stale key accepted")
+	}
+	if _, _, ok := loadCache(filepath.Join(dir, "missing.cubes"), cacheKey(p, cfg)); ok {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestCacheCorruptionIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	p, _ := netgen.ProfileByName("b01")
+	cfg := DefaultConfig()
+	path := cachePath(dir, p, cfg)
+	key := cacheKey(p, cfg)
+	set := cube.MustParseSet("01", "10")
+	if err := saveCache(path, key, set, atpg.Stats{Patterns: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the body: pattern count no longer matches the header.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := loadCache(path, key); ok {
+		t.Fatal("corrupt cache accepted")
+	}
+}
+
+func TestLoadUsesCache(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Circuits: []string{"b01"}, CacheDir: dir}
+	s1, err := Load(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("cache dir entries: %v, %v", entries, err)
+	}
+	// Second load must hit the cache and return identical cubes.
+	s2, err := Load(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s1.Data[0].Cubes.Equal(s2.Data[0].Cubes) {
+		t.Fatal("cached load differs from generated load")
+	}
+	if s1.Data[0].ATPG != s2.Data[0].ATPG {
+		t.Fatalf("stats differ: %+v vs %+v", s1.Data[0].ATPG, s2.Data[0].ATPG)
+	}
+}

@@ -1,0 +1,247 @@
+// Package exp is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§VII) on the synthetic ITC'99 suite
+// and renders them side by side with the paper's published numbers.
+//
+// The pipeline per circuit: netgen (profile-matched netlist) → atpg
+// (test cubes, tool order) → order × fill grids → peak-toggle and
+// peak-power measurements. Everything is deterministic for a given
+// Config.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/atpg"
+	"repro/internal/circuit"
+	"repro/internal/cube"
+	"repro/internal/netgen"
+)
+
+// Config controls suite construction.
+type Config struct {
+	// Circuits filters the suite to the named benchmarks (nil = all 21).
+	Circuits []string
+	// FullScale, when true, uses the exact Table I profiles. The
+	// default compresses circuits above ScaleThreshold gates with a
+	// power law that preserves the suite's size ordering — see
+	// DESIGN.md (CI-speed runs).
+	FullScale bool
+	// ScaleThreshold is the gate count above which compression kicks in
+	// (default 2000).
+	ScaleThreshold int
+	// ScaleExponent is the compression exponent (default 0.35).
+	ScaleExponent float64
+	// MaxFaults caps the ATPG fault-list sample per circuit
+	// (default 2500; 0 keeps every fault).
+	MaxFaults int
+	// MaxPatterns caps emitted patterns per circuit (0 = no cap).
+	MaxPatterns int
+	// Seed drives every random choice (fault sampling, R-fill, ISA).
+	Seed int64
+	// Parallelism bounds concurrent circuit builds (default NumCPU).
+	Parallelism int
+	// CacheDir, when non-empty, caches generated cube sets on disk so
+	// expensive profile-exact ATPG runs are paid once. Entries are
+	// keyed by profile and options; mismatches are regenerated.
+	CacheDir string
+}
+
+func (c Config) withDefaults() Config {
+	if c.ScaleThreshold <= 0 {
+		c.ScaleThreshold = 2000
+	}
+	if c.ScaleExponent <= 0 {
+		c.ScaleExponent = 0.35
+	}
+	if c.MaxFaults == 0 {
+		c.MaxFaults = 2500
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.NumCPU()
+	}
+	return c
+}
+
+// DefaultConfig returns the CI-speed configuration used by the bench
+// harness: scaled large circuits, sampled fault lists.
+func DefaultConfig() Config { return Config{}.withDefaults() }
+
+// FullConfig returns the profile-exact configuration
+// (cmd/experiments -full).
+func FullConfig() Config {
+	c := Config{FullScale: true, MaxFaults: -1}
+	return c.withDefaults()
+}
+
+// scaledProfile applies the power-law compression to one profile.
+func scaledProfile(p netgen.Profile, cfg Config) netgen.Profile {
+	if cfg.FullScale || p.Gates <= cfg.ScaleThreshold {
+		return p
+	}
+	th := float64(cfg.ScaleThreshold)
+	gates := th * math.Pow(float64(p.Gates)/th, cfg.ScaleExponent)
+	factor := gates / float64(p.Gates)
+	out := p
+	out.Gates = int(gates)
+	out.PIs = maxInt(1, int(float64(p.PIs)*factor))
+	out.FFs = maxInt(1, int(float64(p.FFs)*factor))
+	return out
+}
+
+// CircuitData is the cached per-circuit experiment input.
+type CircuitData struct {
+	// Name is the benchmark name.
+	Name string
+	// Paper is the unscaled Table I profile; Used is the (possibly
+	// compressed) profile actually generated.
+	Paper, Used netgen.Profile
+	// Circuit is the synthesized netlist.
+	Circuit *circuit.Circuit
+	// Cubes is the ATPG cube set in tool (generation) order.
+	Cubes *cube.Set
+	// ATPG summarizes the generation run.
+	ATPG atpg.Stats
+}
+
+// Suite is a loaded experiment suite.
+type Suite struct {
+	Config Config
+	// Data holds one entry per circuit, in canonical (size) order.
+	Data []*CircuitData
+}
+
+// Names returns the canonical benchmark order used by every table.
+func Names() []string {
+	var out []string
+	for _, p := range netgen.ITC99() {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// Load builds the suite: generates netlists and ATPG cubes for every
+// selected circuit, in parallel.
+func Load(cfg Config) (*Suite, error) {
+	cfg = cfg.withDefaults()
+	want := map[string]bool{}
+	for _, n := range cfg.Circuits {
+		want[n] = true
+	}
+	var selected []netgen.Profile
+	for _, p := range netgen.ITC99() {
+		if len(want) == 0 || want[p.Name] {
+			selected = append(selected, p)
+		}
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("exp: no circuits selected (unknown names in %v?)", cfg.Circuits)
+	}
+
+	data := make([]*CircuitData, len(selected))
+	errs := make([]error, len(selected))
+	sem := make(chan struct{}, cfg.Parallelism)
+	var wg sync.WaitGroup
+	for i, p := range selected {
+		wg.Add(1)
+		go func(i int, paper netgen.Profile) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			used := scaledProfile(paper, cfg)
+			c, err := netgen.Generate(used)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: netgen: %w", paper.Name, err)
+				return
+			}
+			maxFaults := cfg.MaxFaults
+			if maxFaults < 0 {
+				maxFaults = 0 // "no cap" spelled -1 in FullConfig
+			}
+			var set *cube.Set
+			var st atpg.Stats
+			cached := false
+			if cfg.CacheDir != "" {
+				set, st, cached = loadCache(cachePath(cfg.CacheDir, used, cfg), cacheKey(used, cfg))
+			}
+			if !cached {
+				set, st, err = atpg.Generate(c, atpg.Options{
+					MaxFaults:   maxFaults,
+					MaxPatterns: cfg.MaxPatterns,
+					Seed:        cfg.Seed,
+				})
+				if err != nil {
+					errs[i] = fmt.Errorf("%s: atpg: %w", paper.Name, err)
+					return
+				}
+				if cfg.CacheDir != "" {
+					if err := os.MkdirAll(cfg.CacheDir, 0o755); err == nil {
+						// Cache write failures are non-fatal: the run
+						// already has its data.
+						_ = saveCache(cachePath(cfg.CacheDir, used, cfg), cacheKey(used, cfg), set, st)
+					}
+				}
+			}
+			data[i] = &CircuitData{
+				Name: paper.Name, Paper: paper, Used: used,
+				Circuit: c, Cubes: set, ATPG: st,
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Keep canonical order (selected preserves ITC99 order already).
+	sort.SliceStable(data, func(a, b int) bool {
+		return canonicalIndex(data[a].Name) < canonicalIndex(data[b].Name)
+	})
+	return &Suite{Config: cfg, Data: data}, nil
+}
+
+func canonicalIndex(name string) int {
+	for i, p := range netgen.ITC99() {
+		if p.Name == name {
+			return i
+		}
+	}
+	return len(netgen.ITC99())
+}
+
+// Get returns the data for a named circuit.
+func (s *Suite) Get(name string) (*CircuitData, bool) {
+	for _, d := range s.Data {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+// Largest returns the biggest loaded circuit (by used gate count) —
+// Fig. 2(c) runs on it (b19 when the full suite is loaded).
+func (s *Suite) Largest() *CircuitData {
+	var best *CircuitData
+	for _, d := range s.Data {
+		if best == nil || d.Used.Gates > best.Used.Gates {
+			best = d
+		}
+	}
+	return best
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,22 @@
+package fill
+
+import (
+	"repro/internal/core"
+	"repro/internal/cube"
+)
+
+// DP returns the paper's DP-fill as a Filler, so it can be slotted into
+// the same table harness as the heuristics. The heavy lifting lives in
+// package core.
+func DP() Filler {
+	return Func{FillName: "DP-fill", F: func(s *cube.Set) (*cube.Set, error) {
+		filled, _, err := core.Fill(s)
+		return filled, err
+	}}
+}
+
+// All returns every filler of Tables II–IV in the paper's column order:
+// MT-fill, R-fill, 0-fill, 1-fill, B-fill, DP-fill.
+func All(seed int64) []Filler {
+	return append(Baselines(seed), DP())
+}

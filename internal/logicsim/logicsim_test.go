@@ -1,0 +1,308 @@
+package logicsim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/cube"
+)
+
+const testNetlist = `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+OUTPUT(z)
+q0 = DFF(n2)
+n1 = NAND(a, b)
+n2 = NOR(c, q0)
+n3 = XOR(n1, n2)
+inv = NOT(n3)
+y = AND(n1, n3, inv)
+z = OR(n2, q0)
+`
+
+func compile(t testing.TB) *Circuit3 {
+	t.Helper()
+	c, err := circuit.ParseBench(strings.NewReader(testNetlist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Compile(c)
+}
+
+// evalRef computes the expected two-valued outputs for inputs
+// (a,b,c,q0) with plain Go booleans, as an independent oracle.
+func evalRef(a, b, c, q0 bool) (y, z bool) {
+	n1 := !(a && b)
+	n2 := !(c || q0)
+	n3 := n1 != n2
+	inv := !n3
+	y = n1 && n3 && inv
+	z = n2 || q0
+	return
+}
+
+func toTrit(b bool) cube.Trit {
+	if b {
+		return cube.One
+	}
+	return cube.Zero
+}
+
+func TestApplyMatchesBooleanOracle(t *testing.T) {
+	cc := compile(t)
+	sim := NewSimulator(cc)
+	for mask := 0; mask < 16; mask++ {
+		a, b, c, q0 := mask&1 != 0, mask&2 != 0, mask&4 != 0, mask&8 != 0
+		in := cube.Cube{toTrit(a), toTrit(b), toTrit(c), toTrit(q0)}
+		if err := sim.Apply(in); err != nil {
+			t.Fatal(err)
+		}
+		wy, wz := evalRef(a, b, c, q0)
+		yID, _ := cc.C.GateByName("y")
+		zID, _ := cc.C.GateByName("z")
+		if sim.Value(yID) != toTrit(wy) || sim.Value(zID) != toTrit(wz) {
+			t.Fatalf("mask %04b: y=%v z=%v, want %v %v",
+				mask, sim.Value(yID), sim.Value(zID), toTrit(wy), toTrit(wz))
+		}
+	}
+}
+
+func TestApplyWidthCheck(t *testing.T) {
+	cc := compile(t)
+	if err := NewSimulator(cc).Apply(cube.MustParse("01")); err == nil {
+		t.Fatal("short cube accepted")
+	}
+}
+
+func TestThreeValuedXPropagation(t *testing.T) {
+	cc := compile(t)
+	sim := NewSimulator(cc)
+	// a=0 forces n1=1 regardless of b: X must not leak through.
+	if err := sim.Apply(cube.MustParse("0X00")); err != nil {
+		t.Fatal(err)
+	}
+	n1, _ := cc.C.GateByName("n1")
+	if sim.Value(n1) != cube.One {
+		t.Fatalf("NAND(0,X) = %v, want 1", sim.Value(n1))
+	}
+	// a=1,b=X: NAND(1,X)=X; XOR with any X input is X.
+	if err := sim.Apply(cube.MustParse("1X00")); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Value(n1) != cube.X {
+		t.Fatalf("NAND(1,X) = %v, want X", sim.Value(n1))
+	}
+	n3, _ := cc.C.GateByName("n3")
+	if sim.Value(n3) != cube.X {
+		t.Fatalf("XOR(X,·) = %v, want X", sim.Value(n3))
+	}
+}
+
+func TestThreeValuedControllingValues(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+o1 = OR(a, b)
+a1 = AND(a, b)
+n1 = NOR(a, b)
+OUTPUT(o1)
+`
+	c, err := circuit.ParseBench(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator(Compile(c))
+	if err := sim.Apply(cube.MustParse("1X")); err != nil {
+		t.Fatal(err)
+	}
+	o1, _ := c.GateByName("o1")
+	a1, _ := c.GateByName("a1")
+	n1, _ := c.GateByName("n1")
+	if sim.Value(o1) != cube.One { // OR(1,X)=1
+		t.Fatalf("OR(1,X) = %v", sim.Value(o1))
+	}
+	if sim.Value(a1) != cube.X { // AND(1,X)=X
+		t.Fatalf("AND(1,X) = %v", sim.Value(a1))
+	}
+	if sim.Value(n1) != cube.Zero { // NOR(1,X)=0
+		t.Fatalf("NOR(1,X) = %v", sim.Value(n1))
+	}
+}
+
+func TestConstantsPropagate(t *testing.T) {
+	src := `
+INPUT(a)
+t1 = TIE1()
+t0 = CONST0()
+n = AND(a, t1)
+m = OR(n, t0)
+OUTPUT(m)
+`
+	c, err := circuit.ParseBench(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator(Compile(c))
+	if err := sim.Apply(cube.MustParse("1")); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := c.GateByName("m")
+	if sim.Value(m) != cube.One {
+		t.Fatalf("m = %v", sim.Value(m))
+	}
+}
+
+func TestPackCubesValidation(t *testing.T) {
+	if _, err := PackCubes([]cube.Cube{cube.MustParse("0X")}, 2); err == nil {
+		t.Error("X accepted in batch")
+	}
+	if _, err := PackCubes([]cube.Cube{cube.MustParse("0")}, 2); err == nil {
+		t.Error("width mismatch accepted")
+	}
+	many := make([]cube.Cube, 65)
+	for i := range many {
+		many[i] = cube.MustParse("0")
+	}
+	if _, err := PackCubes(many, 1); err == nil {
+		t.Error("65 cubes accepted")
+	}
+}
+
+// TestPropertyParallelMatchesScalar: the 64-way engine agrees with the
+// 3-valued engine on fully specified random patterns.
+func TestPropertyParallelMatchesScalar(t *testing.T) {
+	cc := compile(t)
+	sim := NewSimulator(cc)
+	par := NewParallel(cc)
+	width := len(cc.C.ScanInputs())
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		batch := make([]cube.Cube, 1+r.Intn(64))
+		for i := range batch {
+			c := make(cube.Cube, width)
+			for k := range c {
+				c[k] = toTrit(r.Intn(2) == 1)
+			}
+			batch[i] = c
+		}
+		in, err := PackCubes(batch, width)
+		if err != nil {
+			return false
+		}
+		if err := par.ApplyBatch(in); err != nil {
+			return false
+		}
+		for pIdx, c := range batch {
+			if err := sim.Apply(c); err != nil {
+				return false
+			}
+			for id := range cc.C.Gates {
+				got := (par.Word(id) >> uint(pIdx)) & 1
+				if toTrit(got == 1) != sim.Value(id) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestToggleCount(t *testing.T) {
+	cc := compile(t)
+	width := len(cc.C.ScanInputs())
+	a := cube.MustParse("0000")
+	b := cube.MustParse("0000")
+	n, err := ToggleCount(cc, a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("identical patterns toggled %d nets", n)
+	}
+	flags := make([]bool, cc.C.NumGates())
+	c2 := cube.MustParse("1111")
+	n, err = ToggleCount(cc, a, c2, flags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("opposite patterns toggled nothing")
+	}
+	count := 0
+	for _, f := range flags {
+		if f {
+			count++
+		}
+	}
+	if count != n {
+		t.Fatalf("flag count %d != returned %d", count, n)
+	}
+	_ = width
+}
+
+// TestPropertyToggleCountMatchesScalarDiff: ToggleCount equals the
+// number of nets whose scalar-simulated values differ.
+func TestPropertyToggleCountMatchesScalarDiff(t *testing.T) {
+	cc := compile(t)
+	sim := NewSimulator(cc)
+	width := len(cc.C.ScanInputs())
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func() cube.Cube {
+			c := make(cube.Cube, width)
+			for k := range c {
+				c[k] = toTrit(r.Intn(2) == 1)
+			}
+			return c
+		}
+		a, b := mk(), mk()
+		got, err := ToggleCount(cc, a, b, nil)
+		if err != nil {
+			return false
+		}
+		if err := sim.Apply(a); err != nil {
+			return false
+		}
+		va := make([]cube.Trit, cc.C.NumGates())
+		for id := range va {
+			va[id] = sim.Value(id)
+		}
+		if err := sim.Apply(b); err != nil {
+			return false
+		}
+		want := 0
+		for id := range va {
+			if va[id] != sim.Value(id) {
+				want++
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkParallelBatch(b *testing.B) {
+	cc := compile(b)
+	par := NewParallel(cc)
+	in := make([]uint64, len(cc.C.ScanInputs()))
+	r := rand.New(rand.NewSource(1))
+	for i := range in {
+		in[i] = r.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := par.ApplyBatch(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

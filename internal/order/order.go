@@ -1,0 +1,361 @@
+// Package order implements the test-vector orderings evaluated in the
+// paper: the ATPG tool order (Table II), the X-Stat ordering of [22]
+// (Table III), the proposed interleaved I-Ordering of Algorithm 3
+// (Table IV) and the ISA ordering of [20] (Table V baseline).
+//
+// An ordering maps a cube set to a permutation; the cubes themselves are
+// never modified. Peak toggles are then measured on the reordered set
+// after X-filling, so orderings and fills compose freely.
+package order
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/cube"
+)
+
+// Orderer is a named test-vector ordering algorithm.
+type Orderer interface {
+	// Name returns the short name used in tables.
+	Name() string
+	// Order returns a permutation perm such that s.Reorder(perm) is the
+	// proposed application order.
+	Order(s *cube.Set) ([]int, error)
+}
+
+// Func adapts a function to the Orderer interface.
+type Func struct {
+	OrderName string
+	F         func(*cube.Set) ([]int, error)
+}
+
+// Name implements Orderer.
+func (f Func) Name() string { return f.OrderName }
+
+// Order implements Orderer.
+func (f Func) Order(s *cube.Set) ([]int, error) { return f.F(s) }
+
+// Identity returns the identity permutation of length n.
+func Identity(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Tool returns the "tool ordering": the order in which the ATPG emitted
+// the patterns, i.e. the identity permutation. This is the Table II
+// baseline (the paper's TetraMax order; our ATPG's generation order).
+func Tool() Orderer {
+	return Func{OrderName: "Tool", F: func(s *cube.Set) ([]int, error) {
+		return Identity(s.Len()), nil
+	}}
+}
+
+// XStat returns the X-Stat ordering, standing in for the ordering of
+// [22] (paper unavailable — see DESIGN.md substitutions): a greedy
+// nearest-neighbour chain that starts from the cube with the most care
+// bits and repeatedly appends the cube with the fewest guaranteed
+// toggles against the current tail, breaking ties toward higher X
+// overlap (longer don't-care stretches).
+func XStat() Orderer {
+	return Func{OrderName: "X-Stat", F: func(s *cube.Set) ([]int, error) {
+		n := s.Len()
+		if n == 0 {
+			return nil, nil
+		}
+		p := cube.Pack(s)
+		used := make([]bool, n)
+		// Start from the cube with the most specified bits: it anchors
+		// the chain where the least filling freedom exists.
+		start := 0
+		for i := 1; i < n; i++ {
+			if p.CareCount(i) > p.CareCount(start) {
+				start = i
+			}
+		}
+		perm := make([]int, 0, n)
+		perm = append(perm, start)
+		used[start] = true
+		for len(perm) < n {
+			tail := perm[len(perm)-1]
+			best, bestHD, bestOverlap := -1, 0, -1
+			for i := 0; i < n; i++ {
+				if used[i] {
+					continue
+				}
+				hd := p.HD(tail, i)
+				overlap := p.XUnion(tail, i)
+				if best == -1 || hd < bestHD || (hd == bestHD && overlap > bestOverlap) {
+					best, bestHD, bestOverlap = i, hd, overlap
+				}
+			}
+			perm = append(perm, best)
+			used[best] = true
+		}
+		return perm, nil
+	}}
+}
+
+// ISA returns the ISA ordering, standing in for Girard et al. [20]
+// (vector ordering for test-power reduction; see DESIGN.md): a seeded
+// simulated-annealing search over permutations minimizing the peak
+// expected adjacent toggle count, refined from a greedy
+// nearest-neighbour start. Costs are twice the expected distance so they
+// stay integral; the annealer maintains the peak incrementally via a
+// cost histogram, so each proposal is O(width/64).
+func ISA(seed int64) Orderer {
+	return Func{OrderName: "ISA", F: func(s *cube.Set) ([]int, error) {
+		n := s.Len()
+		if n <= 2 {
+			return Identity(n), nil
+		}
+		p := cube.Pack(s)
+		rng := rand.New(rand.NewSource(seed))
+
+		perm := greedyExpected(p)
+		st := newSAState(p, perm)
+		best := append([]int(nil), perm...)
+		bestPeak := st.peak()
+
+		iters := 400 * n
+		if iters > 120000 {
+			iters = 120000
+		}
+		temp := float64(p.Width) / 2
+		cool := 1 - 4.0/float64(iters)
+		for it := 0; it < iters; it++ {
+			i := 1 + rng.Intn(n-1)
+			j := 1 + rng.Intn(n-1)
+			if i == j {
+				continue
+			}
+			before := st.peak()
+			undo := st.swap(i, j)
+			after := st.peak()
+			if after <= before || rng.Float64() < annealAccept(before, after, temp) {
+				if after < bestPeak {
+					bestPeak = after
+					copy(best, st.perm)
+				}
+			} else {
+				st.unswap(undo)
+			}
+			temp *= cool
+		}
+		return best, nil
+	}}
+}
+
+// annealAccept returns the acceptance probability for a worsening move:
+// a rational decay temp/(temp+delta) standing in for exp(-delta/temp),
+// monotone in both arguments and free of math imports.
+func annealAccept(before, after int, temp float64) float64 {
+	if temp <= 0 {
+		return 0
+	}
+	d := float64(after - before)
+	return temp / (temp + d)
+}
+
+// saState tracks a permutation, its adjacent edge costs (doubled
+// expected distances) and a histogram of costs so the peak is available
+// in O(1) amortized.
+type saState struct {
+	p     *cube.Packed
+	perm  []int
+	edges []int // edges[j] = cost(perm[j], perm[j+1])
+	hist  []int // hist[c] = number of edges with cost c
+	maxC  int   // current histogram peak (lazily lowered)
+}
+
+type saUndo struct {
+	i, j int
+}
+
+func newSAState(p *cube.Packed, perm []int) *saState {
+	st := &saState{p: p, perm: perm, hist: make([]int, 2*p.Width+1)}
+	st.edges = make([]int, len(perm)-1)
+	for j := 0; j+1 < len(perm); j++ {
+		c := p.Expected2(perm[j], perm[j+1])
+		st.edges[j] = c
+		st.hist[c]++
+		if c > st.maxC {
+			st.maxC = c
+		}
+	}
+	return st
+}
+
+func (st *saState) peak() int {
+	for st.maxC > 0 && st.hist[st.maxC] == 0 {
+		st.maxC--
+	}
+	return st.maxC
+}
+
+func (st *saState) setEdge(j, c int) {
+	st.hist[st.edges[j]]--
+	st.edges[j] = c
+	st.hist[c]++
+	if c > st.maxC {
+		st.maxC = c
+	}
+}
+
+// touchedEdges returns the edge indices incident to position i.
+func (st *saState) touchedEdges(i int, out []int) []int {
+	if i > 0 {
+		out = append(out, i-1)
+	}
+	if i < len(st.edges) {
+		out = append(out, i)
+	}
+	return out
+}
+
+// swap exchanges positions i and j and refreshes the incident edges.
+func (st *saState) swap(i, j int) saUndo {
+	st.perm[i], st.perm[j] = st.perm[j], st.perm[i]
+	var buf [4]int
+	touched := st.touchedEdges(i, buf[:0])
+	touched = st.touchedEdges(j, touched)
+	for _, e := range touched {
+		st.setEdge(e, st.p.Expected2(st.perm[e], st.perm[e+1]))
+	}
+	return saUndo{i: i, j: j}
+}
+
+func (st *saState) unswap(u saUndo) {
+	st.swap(u.i, u.j)
+}
+
+func greedyExpected(p *cube.Packed) []int {
+	n := p.Len()
+	used := make([]bool, n)
+	perm := make([]int, 0, n)
+	perm = append(perm, 0)
+	used[0] = true
+	for len(perm) < n {
+		tail := perm[len(perm)-1]
+		best, bestD := -1, 0
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			d := p.Expected2(tail, i)
+			if best == -1 || d < bestD {
+				best, bestD = i, d
+			}
+		}
+		perm = append(perm, best)
+		used[best] = true
+	}
+	return perm
+}
+
+// Trace records one Algorithm 3 iteration: the interleave size k and the
+// optimal bottleneck value DP-fill reports for that interleaving. Traces
+// feed Fig. 2(a) and 2(b).
+type Trace struct {
+	K    int
+	Peak int
+}
+
+// Interleaved returns the paper's I-Ordering (Algorithm 3). Cubes are
+// sorted by ascending X count into T'; for growing interleave size k the
+// candidate order takes one care-dense cube from the front of T'
+// followed by k X-rich cubes from the back, evaluates the optimal
+// bottleneck via DP-fill, and stops as soon as k+1 fails to improve on
+// k. The best order seen is returned.
+func Interleaved() Orderer { return interleaved{} }
+
+type interleaved struct{}
+
+// Name implements Orderer.
+func (interleaved) Name() string { return "I-Order" }
+
+// Order implements Orderer.
+func (interleaved) Order(s *cube.Set) ([]int, error) {
+	perm, _, err := InterleavedTrace(s)
+	return perm, err
+}
+
+// InterleavedTrace is Order plus the per-iteration trace used by
+// Fig. 2(a)/(b).
+func InterleavedTrace(s *cube.Set) ([]int, []Trace, error) {
+	n := s.Len()
+	if n <= 2 {
+		return Identity(n), nil, nil
+	}
+	// T': indices sorted by ascending X count (stable so equal-X cubes
+	// keep tool order, making the ordering deterministic).
+	tp := Identity(n)
+	sort.SliceStable(tp, func(a, b int) bool {
+		return s.Cubes[tp[a]].XCount() < s.Cubes[tp[b]].XCount()
+	})
+
+	var traces []Trace
+	bestPeak := -1
+	var bestPerm []int
+	for k := 1; k < n; k++ {
+		perm := interleave(tp, k)
+		reordered := s.Reorder(perm)
+		peak, err := core.Bottleneck(reordered)
+		if err != nil {
+			return nil, nil, fmt.Errorf("order: evaluating k=%d: %w", k, err)
+		}
+		traces = append(traces, Trace{K: k, Peak: peak})
+		if bestPeak == -1 || peak < bestPeak {
+			bestPeak = peak
+			bestPerm = perm
+		} else {
+			break // Algorithm 3 exit_flag: first non-improving k stops.
+		}
+	}
+	return bestPerm, traces, nil
+}
+
+// interleave builds the Algorithm 3 candidate for interleaving size k
+// from the X-sorted index list tp: front cubes are care-dense, back
+// cubes are X-rich.
+func interleave(tp []int, k int) []int {
+	n := len(tp)
+	rounds := n / (k + 1)
+	perm := make([]int, 0, n)
+	used := make([]bool, n)
+	for i := 0; i < rounds; i++ {
+		// Pick the i-th care-dense cube from the front...
+		perm = append(perm, tp[i])
+		used[i] = true
+		// ...then k X-rich cubes from the back, descending.
+		hi := n - i*k // one past the block start
+		for t := 1; t <= k; t++ {
+			pos := hi - t
+			perm = append(perm, tp[pos])
+			used[pos] = true
+		}
+	}
+	// Leftover middle cubes (at most k) keep their T' order.
+	for i := 0; i < n; i++ {
+		if !used[i] {
+			perm = append(perm, tp[i])
+		}
+	}
+	return perm
+}
+
+// All returns the three orderings of Tables II–IV in order: Tool,
+// X-Stat, I-Order.
+func All() []Orderer {
+	return []Orderer{Tool(), XStat(), Interleaved()}
+}
+
+// InterleaveK exposes the Algorithm 3 interleaving step for a given k
+// over an X-sorted index list — used by analysis tooling and ablation
+// benches to isolate the interleave from the k search.
+func InterleaveK(tp []int, k int) []int { return interleave(tp, k) }

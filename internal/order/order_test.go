@@ -1,0 +1,355 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/cube"
+)
+
+func randomSet(r *rand.Rand, width, n int, xProb float64) *cube.Set {
+	s := cube.NewSet(width)
+	for v := 0; v < n; v++ {
+		c := make(cube.Cube, width)
+		for i := range c {
+			switch {
+			case r.Float64() < xProb:
+				c[i] = cube.X
+			case r.Intn(2) == 0:
+				c[i] = cube.Zero
+			default:
+				c[i] = cube.One
+			}
+		}
+		s.Append(c)
+	}
+	return s
+}
+
+func isPermutation(perm []int, n int) bool {
+	if len(perm) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || p >= n || seen[p] {
+			return false
+		}
+		seen[p] = true
+	}
+	return true
+}
+
+func TestIdentity(t *testing.T) {
+	p := Identity(4)
+	for i, v := range p {
+		if v != i {
+			t.Fatalf("Identity = %v", p)
+		}
+	}
+}
+
+func TestToolIsIdentity(t *testing.T) {
+	s := cube.MustParseSet("0X", "1X", "XX")
+	perm, err := Tool().Order(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isPermutation(perm, 3) {
+		t.Fatalf("perm = %v", perm)
+	}
+	for i, v := range perm {
+		if v != i {
+			t.Fatalf("tool order = %v, want identity", perm)
+		}
+	}
+}
+
+func TestXStatStartsWithDensestCube(t *testing.T) {
+	s := cube.MustParseSet("XXXX", "0101", "XX01")
+	perm, err := XStat().Order(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm[0] != 1 {
+		t.Fatalf("X-Stat order = %v, want cube 1 (fully specified) first", perm)
+	}
+}
+
+func TestXStatEmptySet(t *testing.T) {
+	perm, err := XStat().Order(cube.NewSet(3))
+	if err != nil || perm != nil {
+		t.Fatalf("empty: %v %v", perm, err)
+	}
+}
+
+func TestXStatPrefersCompatibleNeighbour(t *testing.T) {
+	// After the dense anchor "0000", cube "000X" (hd 0) must precede
+	// "1111" (hd 4).
+	s := cube.MustParseSet("0000", "1111", "000X")
+	perm, err := XStat().Order(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm[0] != 0 || perm[1] != 2 || perm[2] != 1 {
+		t.Fatalf("order = %v, want [0 2 1]", perm)
+	}
+}
+
+func TestISADeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	s := randomSet(r, 10, 20, 0.5)
+	a, err := ISA(7).Order(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ISA(7).Order(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed differs: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestISASmallSets(t *testing.T) {
+	for n := 0; n <= 2; n++ {
+		s := cube.NewSet(2)
+		for i := 0; i < n; i++ {
+			s.Append(cube.MustParse("01"))
+		}
+		perm, err := ISA(1).Order(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !isPermutation(perm, n) {
+			t.Fatalf("n=%d perm=%v", n, perm)
+		}
+	}
+}
+
+func TestISAImprovesOnPathologicalOrder(t *testing.T) {
+	// Alternating all-zeros / all-ones cubes: tool order peak is width;
+	// any sane reordering groups equal cubes and achieves peak width at
+	// exactly one boundary... but with 4+4 cubes the SA must reach peak
+	// = width at one cycle only, and total far lower. Check peak <= tool.
+	s := cube.NewSet(6)
+	for i := 0; i < 8; i++ {
+		if i%2 == 0 {
+			s.Append(cube.MustParse("000000"))
+		} else {
+			s.Append(cube.MustParse("111111"))
+		}
+	}
+	perm, err := ISA(3).Order(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := s.Reorder(perm)
+	if re.TotalToggles() > s.TotalToggles() {
+		t.Fatalf("ISA total %d worse than tool %d", re.TotalToggles(), s.TotalToggles())
+	}
+}
+
+func TestInterleaveShape(t *testing.T) {
+	// n=6, k=1: rounds=3, perm = f0 b0 f1 b1 f2 b2 with back blocks of 1.
+	tp := []int{0, 1, 2, 3, 4, 5}
+	got := interleave(tp, 1)
+	want := []int{0, 5, 1, 4, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("interleave k=1 = %v, want %v", got, want)
+		}
+	}
+	// k=2: rounds=2, fronts 0,1; back blocks (5,4) then (3,2).
+	got = interleave(tp, 2)
+	want = []int{0, 5, 4, 1, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("interleave k=2 = %v, want %v", got, want)
+		}
+	}
+	// k=5: rounds=1: front 0 then the rest descending.
+	got = interleave(tp, 5)
+	want = []int{0, 5, 4, 3, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("interleave k=5 = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestInterleaveLeftovers(t *testing.T) {
+	// n=7, k=2: rounds=2, consumes fronts 0,1 and backs 6,5,4,3; index 2
+	// is the leftover middle cube appended last.
+	got := interleave([]int{0, 1, 2, 3, 4, 5, 6}, 2)
+	want := []int{0, 6, 5, 1, 4, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("interleave n=7 k=2 = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestInterleavedTraceMonotoneStop(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	s := randomSet(r, 12, 24, 0.7)
+	perm, traces, err := InterleavedTrace(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isPermutation(perm, s.Len()) {
+		t.Fatalf("perm = %v", perm)
+	}
+	if len(traces) == 0 {
+		t.Fatal("no traces")
+	}
+	// Every trace except possibly the last must strictly improve.
+	for i := 1; i < len(traces)-1; i++ {
+		if traces[i].Peak >= traces[i-1].Peak {
+			t.Fatalf("trace %d did not improve: %+v", i, traces)
+		}
+	}
+	// ks must be 1,2,3,...
+	for i, tr := range traces {
+		if tr.K != i+1 {
+			t.Fatalf("trace ks = %+v", traces)
+		}
+	}
+}
+
+func TestInterleavedBeatsToolOnStructuredSet(t *testing.T) {
+	// Construct a set where care-dense cubes are adjacent in tool order:
+	// interleaving must strictly reduce the optimal bottleneck.
+	dense := []string{"01010101", "10101010", "01100110", "10011001"}
+	sparse := []string{"0XXXXXXX", "XXXX1XXX", "XX0XXXXX", "XXXXXX1X",
+		"X1XXXXXX", "XXXXX0XX", "XXX1XXXX", "XXXXXXX0"}
+	s := cube.NewSet(8)
+	for _, d := range dense {
+		s.Append(cube.MustParse(d))
+	}
+	for _, sp := range sparse {
+		s.Append(cube.MustParse(sp))
+	}
+	toolPeak, err := core.Bottleneck(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := Interleaved().Order(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iPeak, err := core.Bottleneck(s.Reorder(perm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iPeak > toolPeak {
+		t.Fatalf("I-Order peak %d worse than tool %d", iPeak, toolPeak)
+	}
+	if iPeak == toolPeak {
+		t.Logf("note: tie at %d (acceptable but unexpected for this fixture)", iPeak)
+	}
+}
+
+func TestAllNames(t *testing.T) {
+	want := []string{"Tool", "X-Stat", "I-Order"}
+	all := All()
+	for i, o := range all {
+		if o.Name() != want[i] {
+			t.Fatalf("All()[%d] = %q", i, o.Name())
+		}
+	}
+	if ISA(1).Name() != "ISA" {
+		t.Fatal("ISA name")
+	}
+}
+
+// TestPropertyOrderingsArePermutations: every orderer returns a valid
+// permutation for random inputs.
+func TestPropertyOrderingsArePermutations(t *testing.T) {
+	orderers := append(All(), ISA(2))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSet(r, 1+r.Intn(10), 1+r.Intn(16), 0.6)
+		for _, o := range orderers {
+			perm, err := o.Order(s)
+			if err != nil || !isPermutation(perm, s.Len()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyOrderingPreservesMultiset: reordering never changes the
+// multiset of cubes (checked via sorted string forms).
+func TestPropertyOrderingPreservesMultiset(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSet(r, 1+r.Intn(6), 1+r.Intn(10), 0.5)
+		perm, err := Interleaved().Order(s)
+		if err != nil {
+			return false
+		}
+		re := s.Reorder(perm)
+		count := map[string]int{}
+		for _, c := range s.Cubes {
+			count[c.String()]++
+		}
+		for _, c := range re.Cubes {
+			count[c.String()]--
+		}
+		for _, v := range count {
+			if v != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySAStateConsistent: the incremental edge histogram always
+// matches a from-scratch recomputation after random swaps.
+func TestPropertySAStateConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSet(r, 1+r.Intn(8), 3+r.Intn(10), 0.5)
+		p := cube.Pack(s)
+		st := newSAState(p, Identity(s.Len()))
+		for step := 0; step < 50; step++ {
+			i := r.Intn(s.Len())
+			j := r.Intn(s.Len())
+			if i == j {
+				continue
+			}
+			u := st.swap(i, j)
+			if r.Intn(2) == 0 {
+				st.unswap(u)
+			}
+			// Reference peak.
+			ref := 0
+			for e := 0; e+1 < s.Len(); e++ {
+				if c := p.Expected2(st.perm[e], st.perm[e+1]); c > ref {
+					ref = c
+				}
+			}
+			if st.peak() != ref {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

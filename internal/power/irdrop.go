@@ -1,0 +1,132 @@
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/cube"
+	"repro/internal/logicsim"
+)
+
+// The paper's motivation is dynamic IR-drop: localized current demand
+// during the launch–capture cycle sags the power grid and slows paths
+// into false delay failures (§I, [3], [4]). This file adds the spatial
+// view the scalar power numbers hide: per-grid-tile switched current,
+// so experiments can report not just how much power a fill draws but
+// how concentrated it is.
+
+// IRDropMap is the per-tile peak current map of a test set.
+type IRDropMap struct {
+	// Tiles is the side length of the square tile grid.
+	Tiles int
+	// PeakUA[y][x] is the worst per-cycle switched current of the tile
+	// in microamps.
+	PeakUA [][]float64
+	// PeakTile identifies the hottest tile and PeakCycle the cycle that
+	// produced it.
+	PeakTileX, PeakTileY, PeakCycle int
+	// WorstUA is PeakUA at the hottest tile.
+	WorstUA float64
+	// MeanUA is the mean of the per-tile peaks.
+	MeanUA float64
+}
+
+// IRDrop computes the per-tile peak switched current over every capture
+// cycle of the fully specified set. Gates are mapped onto a tiles×tiles
+// grid consistent with Extract's placement; each toggling net deposits
+// I = C·Vdd·f at its driver's tile (the mean current of charging C once
+// per cycle at frequency f).
+func (m *Model) IRDrop(c *circuit.Circuit, s *cube.Set, tiles int) (*IRDropMap, error) {
+	if tiles < 1 {
+		return nil, fmt.Errorf("power: tile count %d < 1", tiles)
+	}
+	if !s.FullySpecified() {
+		return nil, fmt.Errorf("power: IR-drop map needs a fully specified set; fill first")
+	}
+	n := s.Len()
+	out := &IRDropMap{Tiles: tiles, PeakUA: make([][]float64, tiles)}
+	for y := range out.PeakUA {
+		out.PeakUA[y] = make([]float64, tiles)
+	}
+	if n < 2 {
+		return out, nil
+	}
+
+	// Same row-major placement as Extract, folded onto the tile grid.
+	numGates := len(c.Gates)
+	side := int(math.Ceil(math.Sqrt(float64(numGates))))
+	tileOf := func(id int) (int, int) {
+		x := id % side
+		y := id / side
+		return x * tiles / side, y * tiles / side
+	}
+
+	cur := make([][]float64, tiles) // per-cycle scratch
+	for y := range cur {
+		cur[y] = make([]float64, tiles)
+	}
+	iScale := m.tech.Vdd * m.tech.Freq * 1e6 // C·V·f in µA per farad
+
+	par := logicsim.NewParallel(m.cc)
+	for base := 0; base < n-1; base += 63 {
+		hi := base + 64
+		if hi > n {
+			hi = n
+		}
+		in, err := logicsim.PackCubes(s.Cubes[base:hi], s.Width)
+		if err != nil {
+			return nil, err
+		}
+		if err := par.ApplyBatch(in); err != nil {
+			return nil, err
+		}
+		pairs := hi - base - 1
+		words := par.Words()
+		for j := 0; j < pairs; j++ {
+			for y := range cur {
+				for x := range cur[y] {
+					cur[y][x] = 0
+				}
+			}
+			bit := uint64(1) << uint(j)
+			for id, w := range words {
+				if (w^(w>>1))&bit == 0 {
+					continue
+				}
+				x, y := tileOf(id)
+				cur[y][x] += m.CapF[id] * iScale
+			}
+			for y := range cur {
+				for x := range cur[y] {
+					if cur[y][x] > out.PeakUA[y][x] {
+						out.PeakUA[y][x] = cur[y][x]
+					}
+					if cur[y][x] > out.WorstUA {
+						out.WorstUA = cur[y][x]
+						out.PeakTileX, out.PeakTileY = x, y
+						out.PeakCycle = base + j
+					}
+				}
+			}
+		}
+	}
+	var sum float64
+	for y := range out.PeakUA {
+		for x := range out.PeakUA[y] {
+			sum += out.PeakUA[y][x]
+		}
+	}
+	out.MeanUA = sum / float64(tiles*tiles)
+	return out, nil
+}
+
+// HotspotRatio returns worst-tile current over mean tile current — the
+// concentration metric: a fill can have moderate total power yet a
+// sharp local hotspot (exactly the IR-drop hazard).
+func (m *IRDropMap) HotspotRatio() float64 {
+	if m.MeanUA == 0 {
+		return 0
+	}
+	return m.WorstUA / m.MeanUA
+}

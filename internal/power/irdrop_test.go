@@ -1,0 +1,81 @@
+package power
+
+import (
+	"testing"
+
+	"repro/internal/cube"
+)
+
+func TestIRDropQuietSet(t *testing.T) {
+	c := parse(t)
+	m := Extract(c, Default45nm())
+	s := cube.MustParseSet("000", "000", "000")
+	mp, err := m.IRDrop(c, s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.WorstUA != 0 || mp.MeanUA != 0 || mp.HotspotRatio() != 0 {
+		t.Fatalf("quiet set produced current: %+v", mp)
+	}
+}
+
+func TestIRDropActiveSet(t *testing.T) {
+	c := parse(t)
+	m := Extract(c, Default45nm())
+	s := cube.MustParseSet("000", "111", "000", "111")
+	mp, err := m.IRDrop(c, s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.WorstUA <= 0 {
+		t.Fatal("no current for full swing")
+	}
+	if mp.PeakUA[mp.PeakTileY][mp.PeakTileX] != mp.WorstUA {
+		t.Fatal("peak tile inconsistent")
+	}
+	if mp.HotspotRatio() < 1 {
+		t.Fatalf("hotspot ratio %.2f < 1", mp.HotspotRatio())
+	}
+}
+
+func TestIRDropValidation(t *testing.T) {
+	c := parse(t)
+	m := Extract(c, Default45nm())
+	if _, err := m.IRDrop(c, cube.MustParseSet("0X0", "000"), 2); err == nil {
+		t.Error("unfilled set accepted")
+	}
+	if _, err := m.IRDrop(c, cube.MustParseSet("000", "111"), 0); err == nil {
+		t.Error("zero tiles accepted")
+	}
+}
+
+func TestIRDropSingleVector(t *testing.T) {
+	c := parse(t)
+	m := Extract(c, Default45nm())
+	mp, err := m.IRDrop(c, cube.MustParseSet("000"), 3)
+	if err != nil || mp.WorstUA != 0 {
+		t.Fatalf("single vector: %+v %v", mp, err)
+	}
+}
+
+func TestIRDropTotalsMatchPower(t *testing.T) {
+	// Sum over tiles of the same cycle's current equals the cycle's
+	// power divided by Vdd/2 (P = I·V with our I = C·V·f convention
+	// giving P = 0.5·C·V²·f per toggle: factor 2). We check the single
+	// peak cycle to avoid reconstructing per-cycle maps here.
+	c := parse(t)
+	m := Extract(c, Default45nm())
+	s := cube.MustParseSet("000", "111")
+	rep, err := m.CapturePower(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := m.IRDrop(c, s, 1) // one tile: the whole chip
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUA := rep.PeakUW / m.Tech().Vdd * 2
+	if diff := mp.WorstUA - wantUA; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("tile current %.6g µA, want %.6g µA", mp.WorstUA, wantUA)
+	}
+}

@@ -1,0 +1,189 @@
+// Package power estimates test power the way Table VI needs it: a
+// synthetic placement assigns every gate a grid location, a
+// half-perimeter wirelength model extracts per-net interconnect
+// capacitance (standing in for the paper's SoCEncounter place-and-route
+// plus parasitic extraction — see DESIGN.md), and a weighted
+// switching-activity model converts per-capture-cycle net toggles into
+// dynamic power in microwatts.
+//
+// Absolute numbers depend on the technology constants below; the
+// experiments only rely on relative power across fills and orderings,
+// which the weighted-toggle model preserves.
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/cube"
+	"repro/internal/logicsim"
+)
+
+// Tech bundles the technology constants of the power model. Defaults
+// approximate a 45 nm standard-cell library.
+type Tech struct {
+	// Vdd is the supply voltage in volts.
+	Vdd float64
+	// Freq is the at-speed capture frequency in hertz.
+	Freq float64
+	// GateCapF is the input capacitance per driven pin, in farads.
+	GateCapF float64
+	// WireCapFPerUnit is the wire capacitance per placement grid unit of
+	// half-perimeter wirelength, in farads.
+	WireCapFPerUnit float64
+	// SelfCapF is the driver output self-capacitance, in farads.
+	SelfCapF float64
+}
+
+// Default45nm returns the default technology constants.
+func Default45nm() Tech {
+	return Tech{
+		Vdd:             1.1,
+		Freq:            100e6,
+		GateCapF:        0.9e-15,
+		WireCapFPerUnit: 0.25e-15,
+		SelfCapF:        0.6e-15,
+	}
+}
+
+// Model holds the extracted per-net capacitances for one circuit.
+type Model struct {
+	tech Tech
+	// CapF[id] is the total switched capacitance of net id in farads.
+	CapF []float64
+	cc   *logicsim.Circuit3
+}
+
+// Extract places the circuit on a √G×√G grid (in gate-ID-major order, a
+// proxy for a cluster-aware placer: netgen allocates related logic with
+// nearby IDs) and computes per-net capacitance = self + gate·fanout +
+// wire·HPWL.
+func Extract(c *circuit.Circuit, tech Tech) *Model {
+	n := len(c.Gates)
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	if side < 1 {
+		side = 1
+	}
+	x := make([]int, n)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		x[i] = i % side
+		y[i] = i / side
+	}
+	m := &Model{tech: tech, CapF: make([]float64, n), cc: logicsim.Compile(c)}
+	for i := 0; i < n; i++ {
+		g := &c.Gates[i]
+		minX, maxX, minY, maxY := x[i], x[i], y[i], y[i]
+		for _, o := range g.Fanout {
+			if x[o] < minX {
+				minX = x[o]
+			}
+			if x[o] > maxX {
+				maxX = x[o]
+			}
+			if y[o] < minY {
+				minY = y[o]
+			}
+			if y[o] > maxY {
+				maxY = y[o]
+			}
+		}
+		hpwl := float64(maxX - minX + maxY - minY)
+		m.CapF[i] = tech.SelfCapF +
+			tech.GateCapF*float64(len(g.Fanout)) +
+			tech.WireCapFPerUnit*hpwl
+	}
+	return m
+}
+
+// Tech returns the model's technology constants.
+func (m *Model) Tech() Tech { return m.tech }
+
+// CycleReport is the per-capture-cycle power summary for a test set.
+type CycleReport struct {
+	// PowerUW[j] is the dynamic power of capture cycle j (the T_j→T_j+1
+	// launch) in microwatts.
+	PowerUW []float64
+	// Toggles[j] is the raw circuit toggle count of cycle j.
+	Toggles []int
+	// PeakUW and PeakCycle identify the worst cycle.
+	PeakUW    float64
+	PeakCycle int
+	// AvgUW is the mean cycle power.
+	AvgUW float64
+}
+
+// CapturePower simulates the fully specified ordered set and returns
+// the per-cycle weighted switching power: for each consecutive vector
+// pair, P = f · Vdd² /2 · Σ_toggled C_net. Patterns are processed in
+// 64-wide batches, so each batch yields 63 cycles plus one seam
+// simulation between batches.
+func (m *Model) CapturePower(s *cube.Set) (*CycleReport, error) {
+	if !s.FullySpecified() {
+		return nil, fmt.Errorf("power: capture power needs a fully specified set; fill first")
+	}
+	n := s.Len()
+	if n < 2 {
+		return &CycleReport{}, nil
+	}
+	rep := &CycleReport{
+		PowerUW: make([]float64, n-1),
+		Toggles: make([]int, n-1),
+	}
+	par := logicsim.NewParallel(m.cc)
+	width := s.Width
+	scale := 0.5 * m.tech.Vdd * m.tech.Vdd * m.tech.Freq * 1e6 // W -> µW
+
+	// Overlapping batches of 64 patterns: patterns [base, base+64) give
+	// cycles [base, base+63); the next batch starts at base+63 so the
+	// seam pair is covered exactly once.
+	for base := 0; base < n-1; base += 63 {
+		hi := base + 64
+		if hi > n {
+			hi = n
+		}
+		in, err := logicsim.PackCubes(s.Cubes[base:hi], width)
+		if err != nil {
+			return nil, err
+		}
+		if err := par.ApplyBatch(in); err != nil {
+			return nil, err
+		}
+		pairs := hi - base - 1
+		words := par.Words()
+		for id, w := range words {
+			t := w ^ (w >> 1) // bit j set => net toggles in cycle base+j
+			if t == 0 {
+				continue
+			}
+			capF := m.CapF[id]
+			for j := 0; j < pairs; j++ {
+				if t&(1<<uint(j)) != 0 {
+					rep.PowerUW[base+j] += capF
+					rep.Toggles[base+j]++
+				}
+			}
+		}
+	}
+	var sum float64
+	for j := range rep.PowerUW {
+		rep.PowerUW[j] *= scale
+		if rep.PowerUW[j] > rep.PeakUW {
+			rep.PeakUW = rep.PowerUW[j]
+			rep.PeakCycle = j
+		}
+		sum += rep.PowerUW[j]
+	}
+	rep.AvgUW = sum / float64(len(rep.PowerUW))
+	return rep, nil
+}
+
+// PeakCapturePowerUW is a convenience wrapper returning only the peak.
+func (m *Model) PeakCapturePowerUW(s *cube.Set) (float64, error) {
+	rep, err := m.CapturePower(s)
+	if err != nil {
+		return 0, err
+	}
+	return rep.PeakUW, nil
+}

@@ -1,0 +1,262 @@
+package scan
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/cube"
+	"repro/internal/logicsim"
+)
+
+// This file models the at-speed mechanics the paper's §I contrasts:
+// under Launch-Off-Shift, the launch vector V2 is the last shift of the
+// scan load, so V2's flip-flop bits are V1's shifted by one position
+// along each chain. A transition fault at a net needs V1 to set the
+// initial value and V2 to set the final value and propagate it — the
+// coupling that makes LOS patterns cheaper but hotter than LOC.
+
+// TransitionFault is a gross-delay (transition) fault at a net.
+type TransitionFault struct {
+	// Net is the gate whose output transition is slow.
+	Net int
+	// SlowToRise selects slow-to-rise (needs 0→1 at the net) versus
+	// slow-to-fall (1→0).
+	SlowToRise bool
+}
+
+// String renders the fault in "net/str" / "net/stf" form.
+func (f TransitionFault) String() string {
+	suffix := "stf"
+	if f.SlowToRise {
+		suffix = "str"
+	}
+	return fmt.Sprintf("%d/%s", f.Net, suffix)
+}
+
+// LOSPair is a launch/capture vector pair obeying the LOS shift
+// coupling: V2's FF bits are V1's shifted one cell along each chain
+// (primary inputs are held constant across launch and capture, the
+// usual at-speed constraint).
+type LOSPair struct {
+	V1, V2 cube.Cube
+	Fault  TransitionFault
+}
+
+// ShiftFFs derives the launch-state FF values from the load state: for
+// each chain, cell i takes cell i-1's value and cell 0 takes the
+// scan-in bit. v must be a full-width cube; the returned cube shares
+// its PI bits.
+func (p *Plan) ShiftFFs(c *circuit.Circuit, v cube.Cube, scanIn []cube.Trit) (cube.Cube, error) {
+	if len(v) != c.NumInputs() {
+		return nil, fmt.Errorf("scan: vector width %d, want %d", len(v), c.NumInputs())
+	}
+	if len(scanIn) != len(p.Chains) {
+		return nil, fmt.Errorf("scan: %d scan-in bits for %d chains", len(scanIn), len(p.Chains))
+	}
+	pinOf := make(map[int]int, len(c.DFFs))
+	for k, id := range c.ScanInputs() {
+		pinOf[id] = k
+	}
+	out := v.Clone()
+	for ci, ch := range p.Chains {
+		for i := len(ch.FFs) - 1; i >= 1; i-- {
+			out[pinOf[ch.FFs[i]]] = v[pinOf[ch.FFs[i-1]]]
+		}
+		if len(ch.FFs) > 0 {
+			out[pinOf[ch.FFs[0]]] = scanIn[ci]
+		}
+	}
+	return out, nil
+}
+
+// PairOptions tunes BuildLOSPairs.
+type PairOptions struct {
+	// Tries bounds the randomized justification attempts per fault
+	// (default 32).
+	Tries int
+	// Seed drives the randomized completions.
+	Seed int64
+}
+
+// PairStats summarizes a BuildLOSPairs run.
+type PairStats struct {
+	// Built pairs and faults abandoned after Tries attempts.
+	Built, Abandoned int
+}
+
+// BuildLOSPairs constructs LOS launch/capture pairs for the given
+// transition faults. For each fault it searches (randomized, seeded,
+// bounded) for a load vector V1 and scan-in bits such that, with V2 =
+// shift(V1) and PIs held, simulation shows the net taking the initial
+// value under V1 and the final value under V2 with the final value
+// observable (checked via the stuck-at dual: a slow transition behaves
+// as the initial value persisting into V2). Every returned pair is
+// verified by simulation, so the construction is sound even though the
+// search is stochastic; hard faults are reported as abandoned rather
+// than guessed at (the abort discipline of any practical ATPG).
+func BuildLOSPairs(c *circuit.Circuit, plan *Plan, faults []TransitionFault, opts PairOptions) ([]LOSPair, PairStats, error) {
+	if plan.Scheme != LOS {
+		return nil, PairStats{}, fmt.Errorf("scan: LOS pairs need an LOS plan")
+	}
+	tries := opts.Tries
+	if tries <= 0 {
+		tries = 32
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	cc := logicsim.Compile(c)
+	sim := logicsim.NewSimulator(cc)
+	width := c.NumInputs()
+
+	var out []LOSPair
+	var stats PairStats
+	scanIn := make([]cube.Trit, len(plan.Chains))
+	for _, f := range faults {
+		init, final := cube.One, cube.Zero
+		if f.SlowToRise {
+			init, final = cube.Zero, cube.One
+		}
+		found := false
+		for attempt := 0; attempt < tries && !found; attempt++ {
+			v1 := make(cube.Cube, width)
+			for i := range v1 {
+				if rng.Intn(2) == 0 {
+					v1[i] = cube.Zero
+				} else {
+					v1[i] = cube.One
+				}
+			}
+			for i := range scanIn {
+				if rng.Intn(2) == 0 {
+					scanIn[i] = cube.Zero
+				} else {
+					scanIn[i] = cube.One
+				}
+			}
+			v2, err := plan.ShiftFFs(c, v1, scanIn)
+			if err != nil {
+				return nil, stats, err
+			}
+			if err := sim.Apply(v1); err != nil {
+				return nil, stats, err
+			}
+			if sim.Value(f.Net) != init {
+				continue
+			}
+			if err := sim.Apply(v2); err != nil {
+				return nil, stats, err
+			}
+			if sim.Value(f.Net) != final {
+				continue
+			}
+			// Observability of the slow value at capture: the persisting
+			// initial value must reach an observable, i.e. the stuck-at
+			// (net = init) machine must differ from the good machine at
+			// some scan output under V2.
+			if !stuckVisible(cc, v2, f.Net, init) {
+				continue
+			}
+			out = append(out, LOSPair{V1: v1, V2: v2, Fault: f})
+			stats.Built++
+			found = true
+		}
+		if !found {
+			stats.Abandoned++
+		}
+	}
+	return out, stats, nil
+}
+
+// stuckVisible reports whether forcing net to v under pattern t changes
+// any observable output — a one-pattern dual-rail fault check.
+func stuckVisible(cc *logicsim.Circuit3, t cube.Cube, net int, v cube.Trit) bool {
+	sim := logicsim.NewSimulator(cc)
+	if err := sim.Apply(t); err != nil {
+		return false
+	}
+	good := make([]cube.Trit, len(cc.C.Gates))
+	for id := range good {
+		good[id] = sim.Value(id)
+	}
+	faulty := make([]cube.Trit, len(good))
+	copy(faulty, good)
+	faulty[net] = v
+	for _, g := range cc.C.Topo() {
+		if g == net {
+			continue
+		}
+		faulty[g] = evalTrit(cc.C, g, faulty)
+	}
+	for _, ob := range cc.C.ScanOutputs() {
+		if good[ob] != cube.X && faulty[ob] != cube.X && good[ob] != faulty[ob] {
+			return true
+		}
+	}
+	return false
+}
+
+// evalTrit re-evaluates one gate 3-valued against vals.
+func evalTrit(c *circuit.Circuit, g int, vals []cube.Trit) cube.Trit {
+	gt := c.Gates[g].Type
+	fanin := c.Gates[g].Fanin
+	switch gt {
+	case circuit.Buf:
+		return vals[fanin[0]]
+	case circuit.Not:
+		return vals[fanin[0]].Neg()
+	case circuit.And, circuit.Nand:
+		out := cube.One
+		for _, f := range fanin {
+			switch vals[f] {
+			case cube.Zero:
+				out = cube.Zero
+			case cube.X:
+				if out == cube.One {
+					out = cube.X
+				}
+			}
+		}
+		if gt == circuit.Nand {
+			return out.Neg()
+		}
+		return out
+	case circuit.Or, circuit.Nor:
+		out := cube.Zero
+		for _, f := range fanin {
+			switch vals[f] {
+			case cube.One:
+				out = cube.One
+			case cube.X:
+				if out == cube.Zero {
+					out = cube.X
+				}
+			}
+		}
+		if gt == circuit.Nor {
+			return out.Neg()
+		}
+		return out
+	case circuit.Xor, circuit.Xnor:
+		out := cube.Zero
+		for _, f := range fanin {
+			v := vals[f]
+			if v == cube.X {
+				return cube.X
+			}
+			if v == cube.One {
+				out = out.Neg()
+			}
+		}
+		if gt == circuit.Xnor {
+			return out.Neg()
+		}
+		return out
+	default:
+		return vals[g]
+	}
+}
+
+// LaunchToggles returns the launch-cycle input toggle count of a pair:
+// the Hamming distance between V1 and V2 — the per-pair contribution to
+// the peak the paper minimizes.
+func (p LOSPair) LaunchToggles() int { return p.V1.HammingDistance(p.V2) }

@@ -1,0 +1,166 @@
+package scan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/cube"
+	"repro/internal/netgen"
+)
+
+func TestShiftFFs(t *testing.T) {
+	c := parse(t) // 2 PIs (a,b) + 4 FFs (q0..q3)
+	p, _ := NewPlan(c, LOS, 1)
+	// Pins: a b q0 q1 q2 q3; single chain q0->q1->q2->q3.
+	v1 := cube.MustParse("010101")
+	v2, err := p.ShiftFFs(c, v1, []cube.Trit{cube.One})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PIs held; FFs shift: q0=scanIn(1), q1=old q0(0), q2=old q1(1), q3=old q2(0).
+	if v2.String() != "011010" {
+		t.Fatalf("shifted = %s", v2)
+	}
+}
+
+func TestShiftFFsTwoChains(t *testing.T) {
+	c := parse(t)
+	p, _ := NewPlan(c, LOS, 2)
+	// Chains: [q0,q2], [q1,q3] (round-robin stitching).
+	v1 := cube.MustParse("000111")
+	v2, err := p.ShiftFFs(c, v1, []cube.Trit{cube.One, cube.Zero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q0=sin0(1), q2=old q0(0); q1=sin1(0), q3=old q1(1).
+	// Pins: a b q0 q1 q2 q3 -> 0 0 1 0 0 1.
+	if v2.String() != "001001" {
+		t.Fatalf("shifted = %s", v2)
+	}
+}
+
+func TestShiftFFsValidation(t *testing.T) {
+	c := parse(t)
+	p, _ := NewPlan(c, LOS, 1)
+	if _, err := p.ShiftFFs(c, cube.MustParse("01"), []cube.Trit{cube.Zero}); err == nil {
+		t.Error("short vector accepted")
+	}
+	if _, err := p.ShiftFFs(c, cube.MustParse("000000"), nil); err == nil {
+		t.Error("missing scan-in bits accepted")
+	}
+}
+
+func TestTransitionFaultString(t *testing.T) {
+	if (TransitionFault{Net: 5, SlowToRise: true}).String() != "5/str" {
+		t.Fatal("str name")
+	}
+	if (TransitionFault{Net: 2}).String() != "2/stf" {
+		t.Fatal("stf name")
+	}
+}
+
+func TestBuildLOSPairsRejectsLOC(t *testing.T) {
+	c := parse(t)
+	p, _ := NewPlan(c, LOC, 1)
+	if _, _, err := BuildLOSPairs(c, p, nil, PairOptions{}); err == nil {
+		t.Fatal("LOC plan accepted")
+	}
+}
+
+func TestBuildLOSPairsVerified(t *testing.T) {
+	prof, _ := netgen.ProfileByName("b03")
+	c, err := netgen.Generate(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(c, LOS, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target transitions on a sample of internal nets.
+	var faults []TransitionFault
+	for _, g := range c.Topo() {
+		if len(faults) >= 30 {
+			break
+		}
+		faults = append(faults,
+			TransitionFault{Net: g, SlowToRise: true},
+			TransitionFault{Net: g, SlowToRise: false})
+	}
+	pairs, stats, err := BuildLOSPairs(c, plan, faults, PairOptions{Tries: 64, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Built == 0 {
+		t.Fatal("no pairs built")
+	}
+	if stats.Built+stats.Abandoned != len(faults) {
+		t.Fatalf("stats %+v for %d faults", stats, len(faults))
+	}
+	// Every pair must obey the LOS shift coupling and be fully
+	// specified.
+	pinOf := map[int]int{}
+	for k, id := range c.ScanInputs() {
+		pinOf[id] = k
+	}
+	for _, pr := range pairs {
+		if !pr.V1.FullySpecified() || !pr.V2.FullySpecified() {
+			t.Fatal("pair not fully specified")
+		}
+		for _, ch := range plan.Chains {
+			for i := 1; i < len(ch.FFs); i++ {
+				if pr.V2[pinOf[ch.FFs[i]]] != pr.V1[pinOf[ch.FFs[i-1]]] {
+					t.Fatalf("shift coupling violated for fault %v", pr.Fault)
+				}
+			}
+		}
+		// PIs held.
+		for k := range c.PIs {
+			if pr.V1[k] != pr.V2[k] {
+				t.Fatalf("PI changed between launch and capture")
+			}
+		}
+		if pr.LaunchToggles() <= 0 {
+			t.Fatalf("pair with no launch activity for %v", pr.Fault)
+		}
+	}
+	t.Logf("built %d/%d pairs", stats.Built, len(faults))
+}
+
+func TestBuildLOSPairsDeterministic(t *testing.T) {
+	src := `
+INPUT(a)
+OUTPUT(y)
+q0 = DFF(n)
+q1 = DFF(q0)
+n = XOR(a, q1)
+y = NOT(n)
+`
+	c, err := circuit.ParseBench(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(c, LOS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nID, _ := c.GateByName("n")
+	faults := []TransitionFault{{Net: nID, SlowToRise: true}}
+	a, _, err := BuildLOSPairs(c, plan, faults, PairOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := BuildLOSPairs(c, plan, faults, PairOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic pair count")
+	}
+	for i := range a {
+		if !a[i].V1.Equal(b[i].V1) || !a[i].V2.Equal(b[i].V2) {
+			t.Fatal("nondeterministic pairs")
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package scan models the design-for-testability substrate the paper
+// assumes: full-scan chains over the circuit's flip-flops, the
+// Launch-Off-Shift (LOS) and Launch-Off-Capture (LOC) at-speed schemes,
+// and the state-preservation property ([18], "first-level hold") under
+// which the combinational core sees the ordered test vectors
+// back-to-back — the property that makes the peak-toggle objective of
+// §IV equal the inter-vector Hamming distance.
+package scan
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/cube"
+)
+
+// Scheme selects the at-speed launch style.
+type Scheme uint8
+
+// LOS launches the transition off the last shift clock; LOC launches it
+// off the first capture clock. The paper targets LOS (higher coverage,
+// lower test time, but higher capture power — the problem motivating
+// DP-fill).
+const (
+	LOS Scheme = iota
+	LOC
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	if s == LOC {
+		return "LOC"
+	}
+	return "LOS"
+}
+
+// Chain is one scan chain: an ordered list of flip-flop gate IDs,
+// scan-in first.
+type Chain struct {
+	FFs []int
+}
+
+// Len returns the chain length in cells.
+func (ch Chain) Len() int { return len(ch.FFs) }
+
+// BuildChains stitches the circuit's flip-flops into n balanced chains
+// in FF ID order (a proximity proxy: netgen allocates FF IDs together).
+// It errors if n < 1.
+func BuildChains(c *circuit.Circuit, n int) ([]Chain, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("scan: chain count %d < 1", n)
+	}
+	if n > len(c.DFFs) && len(c.DFFs) > 0 {
+		n = len(c.DFFs)
+	}
+	if len(c.DFFs) == 0 {
+		return []Chain{}, nil
+	}
+	chains := make([]Chain, n)
+	for i, ff := range c.DFFs {
+		chains[i%n].FFs = append(chains[i%n].FFs, ff)
+	}
+	return chains, nil
+}
+
+// Plan describes how a test set is applied: the scheme, the chains and
+// the per-pattern cycle accounting.
+type Plan struct {
+	Scheme Scheme
+	Chains []Chain
+	// ShiftCycles is the longest chain length: cycles needed to load a
+	// pattern.
+	ShiftCycles int
+}
+
+// NewPlan builds an application plan for the circuit with n chains.
+func NewPlan(c *circuit.Circuit, scheme Scheme, nChains int) (*Plan, error) {
+	chains, err := BuildChains(c, nChains)
+	if err != nil {
+		return nil, err
+	}
+	shift := 0
+	for _, ch := range chains {
+		if ch.Len() > shift {
+			shift = ch.Len()
+		}
+	}
+	return &Plan{Scheme: scheme, Chains: chains, ShiftCycles: shift}, nil
+}
+
+// TestCycles returns the total tester cycle count for n patterns: per
+// pattern, ShiftCycles to load plus the launch/capture pair, plus the
+// final unload. LOS and LOC have the same cycle count; LOS saves time
+// in the paper's comparison because it needs fewer patterns for the
+// same coverage, which the caller accounts for via n.
+func (p *Plan) TestCycles(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return n*(p.ShiftCycles+2) + p.ShiftCycles
+}
+
+// CapturePairs enumerates the consecutive vector pairs whose input
+// toggles the launch–capture cycle experiences under the
+// state-preservation DFT. Pair j is (T_j, T_j+1): the combinational
+// logic rests in T_j's state until T_j+1 is launched. The returned
+// slice holds n-1 index pairs.
+func CapturePairs(s *cube.Set) [][2]int {
+	if s.Len() < 2 {
+		return nil
+	}
+	out := make([][2]int, s.Len()-1)
+	for j := 0; j+1 < s.Len(); j++ {
+		out[j] = [2]int{j, j + 1}
+	}
+	return out
+}
+
+// StatePreserving reports whether the plan's DFT holds the
+// combinational state between captures. This reproduction always
+// models the [18] first-level-hold scheme for LOS, which is the
+// assumption DP-fill's mapping needs; LOC plans return false, since
+// under LOC the shifted intermediate states reach the logic and the
+// inter-vector Hamming model does not apply.
+func (p *Plan) StatePreserving() bool { return p.Scheme == LOS }
+
+// ShiftToggleBound returns the per-pattern worst-case scan-cell toggle
+// count while shifting the (fully specified) vector in: for each chain
+// the number of adjacent bit differences along the chain, summed. This
+// is the classic shift-power metric; the paper minimizes capture power
+// instead, but the harness reports both so the trade-off is visible.
+func (p *Plan) ShiftToggleBound(c *circuit.Circuit, v cube.Cube) (int, error) {
+	if len(v) != c.NumInputs() {
+		return 0, fmt.Errorf("scan: vector width %d, want %d", len(v), c.NumInputs())
+	}
+	// Map FF gate ID -> cube pin (PIs occupy the first len(PIs) pins).
+	pinOf := make(map[int]int, len(c.DFFs))
+	for k, id := range c.ScanInputs() {
+		pinOf[id] = k
+	}
+	total := 0
+	for _, ch := range p.Chains {
+		for i := 0; i+1 < len(ch.FFs); i++ {
+			a := v[pinOf[ch.FFs[i]]]
+			b := v[pinOf[ch.FFs[i+1]]]
+			if a != cube.X && b != cube.X && a != b {
+				total++
+			}
+		}
+	}
+	return total, nil
+}
+
+// CaptureToggles returns the per-cycle input toggle counts of the
+// (fully specified) ordered set under the plan — the quantity Tables
+// II–V minimize the peak of. It errors for non-state-preserving plans,
+// where the metric is undefined.
+func (p *Plan) CaptureToggles(s *cube.Set) ([]int, error) {
+	if !p.StatePreserving() {
+		return nil, fmt.Errorf("scan: capture-toggle model requires a state-preserving (LOS) plan")
+	}
+	if !s.FullySpecified() {
+		return nil, fmt.Errorf("scan: capture toggles need a fully specified set; fill first")
+	}
+	return s.ToggleProfile(), nil
+}

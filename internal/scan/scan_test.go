@@ -1,0 +1,173 @@
+package scan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/cube"
+)
+
+const netlist = `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+q0 = DFF(n1)
+q1 = DFF(n2)
+q2 = DFF(n1)
+q3 = DFF(y)
+n1 = NAND(a, q0)
+n2 = NOR(b, q1)
+y = XOR(n1, n2)
+`
+
+func parse(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	c, err := circuit.ParseBench(strings.NewReader(netlist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBuildChainsBalanced(t *testing.T) {
+	c := parse(t)
+	chains, err := BuildChains(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) != 2 || chains[0].Len() != 2 || chains[1].Len() != 2 {
+		t.Fatalf("chains = %+v", chains)
+	}
+	// All FFs covered exactly once.
+	seen := map[int]bool{}
+	for _, ch := range chains {
+		for _, ff := range ch.FFs {
+			if seen[ff] {
+				t.Fatal("FF in two chains")
+			}
+			seen[ff] = true
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("covered %d FFs", len(seen))
+	}
+}
+
+func TestBuildChainsClamp(t *testing.T) {
+	c := parse(t)
+	chains, err := BuildChains(c, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) != 4 {
+		t.Fatalf("%d chains for 4 FFs", len(chains))
+	}
+	if _, err := BuildChains(c, 0); err == nil {
+		t.Fatal("0 chains accepted")
+	}
+}
+
+func TestNewPlanShiftCycles(t *testing.T) {
+	c := parse(t)
+	p, err := NewPlan(c, LOS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ShiftCycles != 4 {
+		t.Fatalf("shift cycles = %d, want 4", p.ShiftCycles)
+	}
+	p2, err := NewPlan(c, LOS, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.ShiftCycles != 2 {
+		t.Fatalf("2-chain shift cycles = %d, want 2", p2.ShiftCycles)
+	}
+}
+
+func TestTestCycles(t *testing.T) {
+	c := parse(t)
+	p, err := NewPlan(c, LOS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.TestCycles(0); got != 0 {
+		t.Fatalf("0 patterns -> %d cycles", got)
+	}
+	// 3 patterns: 3*(4+2) + 4 final unload.
+	if got := p.TestCycles(3); got != 22 {
+		t.Fatalf("cycles = %d, want 22", got)
+	}
+}
+
+func TestStatePreserving(t *testing.T) {
+	c := parse(t)
+	los, _ := NewPlan(c, LOS, 1)
+	loc, _ := NewPlan(c, LOC, 1)
+	if !los.StatePreserving() || loc.StatePreserving() {
+		t.Fatal("state preservation flags wrong")
+	}
+	if los.Scheme.String() != "LOS" || loc.Scheme.String() != "LOC" {
+		t.Fatal("scheme names")
+	}
+}
+
+func TestCapturePairs(t *testing.T) {
+	s := cube.MustParseSet("000000", "111111", "010101")
+	pairs := CapturePairs(s)
+	if len(pairs) != 2 || pairs[0] != [2]int{0, 1} || pairs[1] != [2]int{1, 2} {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	if CapturePairs(cube.MustParseSet("0")) != nil {
+		t.Fatal("single pattern must have no pairs")
+	}
+}
+
+func TestCaptureToggles(t *testing.T) {
+	c := parse(t)
+	p, _ := NewPlan(c, LOS, 1)
+	// Width = 2 PIs + 4 FFs = 6.
+	s := cube.MustParseSet("000000", "110000", "110011")
+	prof, err := p.CaptureToggles(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof[0] != 2 || prof[1] != 2 {
+		t.Fatalf("profile = %v", prof)
+	}
+	// X bits must be rejected.
+	if _, err := p.CaptureToggles(cube.MustParseSet("0X0000", "000000")); err == nil {
+		t.Fatal("unfilled set accepted")
+	}
+	// LOC must be rejected.
+	loc, _ := NewPlan(c, LOC, 1)
+	if _, err := loc.CaptureToggles(s); err == nil {
+		t.Fatal("LOC capture-toggle model accepted")
+	}
+}
+
+func TestShiftToggleBound(t *testing.T) {
+	c := parse(t)
+	p, _ := NewPlan(c, LOS, 1)
+	// Pins: a, b, q0, q1, q2, q3. Chain order = q0,q1,q2,q3.
+	// Vector q bits 0,1,0,1 -> 3 adjacent flips.
+	n, err := p.ShiftToggleBound(c, cube.MustParse("000101"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("shift toggles = %d, want 3", n)
+	}
+	// X breaks adjacency pairs conservatively.
+	n, err = p.ShiftToggleBound(c, cube.MustParse("000X01"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("shift toggles with X = %d, want 1", n)
+	}
+	if _, err := p.ShiftToggleBound(c, cube.MustParse("01")); err == nil {
+		t.Fatal("short vector accepted")
+	}
+}

@@ -1,0 +1,191 @@
+// Package stats provides the small statistics helpers the experiment
+// harness reports: don't-care stretch distributions (Fig. 2(c)),
+// iteration traces (Fig. 2(a)/(b)) and basic summaries.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/cube"
+)
+
+// StretchSummary aggregates the X-stretch length distribution of a cube
+// set under one ordering — the quantity Fig. 2(c) compares across
+// orderings for b19.
+type StretchSummary struct {
+	// Count is the total number of maximal X runs.
+	Count int
+	// Mean and Max summarize run lengths.
+	Mean float64
+	Max  int
+	// Hist[l] is the number of runs of length l (index 0 unused).
+	Hist []int
+	// LongRuns counts runs of at least half the sequence length — the
+	// stretches DP-fill exploits best.
+	LongRuns int
+}
+
+// Stretches computes the summary for the set (rows of the §V-C matrix).
+func Stretches(s *cube.Set) StretchSummary {
+	hist := s.StretchLengths()
+	sum, count, max := 0, 0, 0
+	long := 0
+	half := s.Len() / 2
+	for l, n := range hist {
+		if n == 0 {
+			continue
+		}
+		count += n
+		sum += l * n
+		if l > max {
+			max = l
+		}
+		if l >= half && half > 0 {
+			long += n
+		}
+	}
+	out := StretchSummary{Count: count, Max: max, Hist: hist, LongRuns: long}
+	if count > 0 {
+		out.Mean = float64(sum) / float64(count)
+	}
+	return out
+}
+
+// Buckets folds a stretch histogram into the log-scaled bins used for
+// plotting: [1], [2,3], [4,7], [8,15], ... Returns bin upper bounds and
+// counts.
+func (ss StretchSummary) Buckets() (bounds []int, counts []int) {
+	if len(ss.Hist) == 0 {
+		return nil, nil
+	}
+	for lo := 1; lo < len(ss.Hist); lo *= 2 {
+		hi := lo*2 - 1
+		if hi >= len(ss.Hist) {
+			hi = len(ss.Hist) - 1
+		}
+		n := 0
+		for l := lo; l <= hi && l < len(ss.Hist); l++ {
+			n += ss.Hist[l]
+		}
+		bounds = append(bounds, hi)
+		counts = append(counts, n)
+		if hi == len(ss.Hist)-1 {
+			break
+		}
+	}
+	return bounds, counts
+}
+
+// WriteHistogram renders the bucketed histogram as an ASCII bar chart.
+func (ss StretchSummary) WriteHistogram(w io.Writer, label string) error {
+	bounds, counts := ss.Buckets()
+	maxN := 0
+	for _, n := range counts {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s: %d stretches, mean %.1f, max %d\n",
+		label, ss.Count, ss.Mean, ss.Max); err != nil {
+		return err
+	}
+	lo := 1
+	for i, hi := range bounds {
+		bar := 0
+		if maxN > 0 {
+			bar = counts[i] * 40 / maxN
+		}
+		if _, err := fmt.Fprintf(w, "  len %4d-%-4d %7d %s\n",
+			lo, hi, counts[i], repeat('#', bar)); err != nil {
+			return err
+		}
+		lo = hi + 1
+	}
+	return nil
+}
+
+func repeat(c byte, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = c
+	}
+	return string(b)
+}
+
+// Summary holds basic descriptive statistics.
+type Summary struct {
+	N                int
+	Min, Max         float64
+	Mean, Median, SD float64
+}
+
+// Summarize computes descriptive statistics of xs (NaN-free input
+// assumed). An empty input yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	mean := sum / float64(len(sorted))
+	var varSum float64
+	for _, x := range sorted {
+		d := x - mean
+		varSum += d * d
+	}
+	med := sorted[len(sorted)/2]
+	if len(sorted)%2 == 0 {
+		med = (sorted[len(sorted)/2-1] + sorted[len(sorted)/2]) / 2
+	}
+	return Summary{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   mean,
+		Median: med,
+		SD:     math.Sqrt(varSum / float64(len(sorted))),
+	}
+}
+
+// Improvement returns the paper's "%Improvement" of proposed over
+// baseline: 100*(baseline-proposed)/baseline. A zero baseline yields 0.
+func Improvement(baseline, proposed float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return 100 * (baseline - proposed) / baseline
+}
+
+// Correlation returns the Pearson correlation of two equal-length
+// series (0 for degenerate inputs). The harness uses it to report the
+// input-toggle ↔ circuit-power correlation the paper cites from [20].
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cube"
+)
+
+func TestStretchesBasic(t *testing.T) {
+	// Rows: pin0 = 0,X,X,1 (one run of 2); pin1 = X,X,X,X (one run of 4).
+	s := cube.MustParseSet("0X", "XX", "XX", "1X")
+	ss := Stretches(s)
+	if ss.Count != 2 || ss.Max != 4 {
+		t.Fatalf("summary = %+v", ss)
+	}
+	if ss.Mean != 3 {
+		t.Fatalf("mean = %v", ss.Mean)
+	}
+	if ss.Hist[2] != 1 || ss.Hist[4] != 1 {
+		t.Fatalf("hist = %v", ss.Hist)
+	}
+	// n=4, half=2: both runs are >= 2.
+	if ss.LongRuns != 2 {
+		t.Fatalf("long runs = %d", ss.LongRuns)
+	}
+}
+
+func TestStretchesEmpty(t *testing.T) {
+	ss := Stretches(cube.MustParseSet("01", "10"))
+	if ss.Count != 0 || ss.Mean != 0 {
+		t.Fatalf("summary = %+v", ss)
+	}
+}
+
+func TestBuckets(t *testing.T) {
+	ss := StretchSummary{Hist: []int{0, 3, 1, 1, 0, 0, 0, 2}}
+	bounds, counts := ss.Buckets()
+	// Bins: [1], [2,3], [4,7].
+	if len(bounds) != 3 || bounds[0] != 1 || bounds[1] != 3 || bounds[2] != 7 {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	if counts[0] != 3 || counts[1] != 2 || counts[2] != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestWriteHistogram(t *testing.T) {
+	s := cube.MustParseSet("0XX1", "XXXX", "01XX")
+	var sb strings.Builder
+	if err := Stretches(s).WriteHistogram(&sb, "demo"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "demo:") || !strings.Contains(out, "len") {
+		t.Fatalf("histogram output: %q", out)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("%+v", s)
+	}
+	if s.Mean != 2.5 || s.Median != 2.5 {
+		t.Fatalf("mean=%v median=%v", s.Mean, s.Median)
+	}
+	if math.Abs(s.SD-math.Sqrt(1.25)) > 1e-12 {
+		t.Fatalf("sd = %v", s.SD)
+	}
+	odd := Summarize([]float64{5, 1, 3})
+	if odd.Median != 3 {
+		t.Fatalf("odd median = %v", odd.Median)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatalf("empty = %+v", z)
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(100, 75); got != 25 {
+		t.Fatalf("improvement = %v", got)
+	}
+	if got := Improvement(100, 125); got != -25 {
+		t.Fatalf("negative improvement = %v", got)
+	}
+	if got := Improvement(0, 5); got != 0 {
+		t.Fatalf("zero baseline = %v", got)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Correlation(xs, []float64{2, 4, 6, 8}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect corr = %v", got)
+	}
+	if got := Correlation(xs, []float64{8, 6, 4, 2}); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("perfect anticorr = %v", got)
+	}
+	if got := Correlation(xs, []float64{5, 5, 5, 5}); got != 0 {
+		t.Fatalf("flat corr = %v", got)
+	}
+	if got := Correlation(xs, []float64{1}); got != 0 {
+		t.Fatalf("ragged corr = %v", got)
+	}
+}

@@ -1,0 +1,152 @@
+// Package repro is an open-source reproduction of "DP-fill: A Dynamic
+// Programming approach to X-filling for minimizing peak test power in
+// scan tests" (DATE 2015).
+//
+// It provides, from scratch and on the standard library only:
+//
+//   - DPFill, the provably optimal X-filling algorithm for minimizing
+//     peak input toggles between consecutive scan test vectors, via the
+//     paper's Bottleneck Coloring Problem reduction;
+//   - the baseline fills (0/1/R/MT/B, Adj-fill, X-Stat) and orderings
+//     (tool, X-Stat, ISA, and the paper's interleaved I-Ordering) it is
+//     evaluated against;
+//   - the full substrate: netlists, .bench I/O, synthetic ITC'99
+//     benchmark generation, 3-valued/64-way logic simulation, PODEM
+//     ATPG with fault dropping, scan/DFT modeling and a placement-based
+//     power model;
+//   - an experiment harness regenerating every table and figure of the
+//     paper's evaluation (package internal/exp, cmd/experiments).
+//
+// This root package is the stable facade: thin, documented re-exports
+// of the pieces a downstream user composes. Examples live under
+// examples/, executables under cmd/.
+package repro
+
+import (
+	"repro/internal/atpg"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/fill"
+	"repro/internal/netgen"
+	"repro/internal/order"
+	"repro/internal/power"
+	"repro/internal/scan"
+)
+
+// Re-exported data types. The aliases keep one canonical definition
+// while letting user code import only this package.
+type (
+	// Trit is a three-valued logic symbol (0, 1, X).
+	Trit = cube.Trit
+	// Cube is one test cube (a trit vector over PIs + scan FFs).
+	Cube = cube.Cube
+	// CubeSet is an ordered sequence of equal-width cubes.
+	CubeSet = cube.Set
+	// Circuit is a gate-level netlist.
+	Circuit = circuit.Circuit
+	// Profile describes a synthetic ITC'99 benchmark.
+	Profile = netgen.Profile
+	// Filler is a named X-filling algorithm.
+	Filler = fill.Filler
+	// Orderer is a named test-vector ordering algorithm.
+	Orderer = order.Orderer
+	// FillResult carries DP-fill run statistics.
+	FillResult = core.Result
+	// Fault is a stuck-at fault.
+	Fault = atpg.Fault
+	// ATPGStats summarizes a test-generation run.
+	ATPGStats = atpg.Stats
+	// PowerModel holds extracted per-net capacitances.
+	PowerModel = power.Model
+	// ScanPlan describes scan chains and the at-speed scheme.
+	ScanPlan = scan.Plan
+)
+
+// Trit values.
+const (
+	Zero = cube.Zero
+	One  = cube.One
+	X    = cube.X
+)
+
+// ParseCubes builds a cube set from strings like "01XX0".
+func ParseCubes(cubes ...string) (*CubeSet, error) { return cube.ParseSet(cubes...) }
+
+// DPFill runs the paper's optimal X-filling on the ordered set and
+// returns a fully specified completion achieving the minimum possible
+// peak toggle count for that ordering.
+func DPFill(s *CubeSet) (*CubeSet, *FillResult, error) { return core.Fill(s) }
+
+// OptimalPeak returns the minimum achievable peak toggle count of the
+// ordering without materializing the filled set (the Algorithm 1 lower
+// bound, which Algorithm 2 always attains).
+func OptimalPeak(s *CubeSet) (int, error) { return core.Bottleneck(s) }
+
+// Fills returns the named X-filling algorithms of the paper's tables:
+// "MT-fill", "R-fill", "0-fill", "1-fill", "B-fill", "DP-fill" via
+// fill.All plus "Adj-fill" and "X-Stat".
+func Fills(seed int64) []Filler {
+	return append(fill.All(seed), fill.Adj(), fill.XStat())
+}
+
+// Orderings returns the orderings of the paper's tables: "Tool",
+// "X-Stat", "I-Order", plus "ISA".
+func Orderings(seed int64) []Orderer {
+	return append(order.All(), order.ISA(seed))
+}
+
+// IOrdering returns the paper's Algorithm 3 interleaved ordering.
+func IOrdering() Orderer { return order.Interleaved() }
+
+// Pipeline composes an ordering with a fill — the unit every experiment
+// evaluates (e.g. I-Ordering + DP-fill is the paper's proposal).
+type Pipeline struct {
+	Orderer Orderer
+	Filler  Filler
+}
+
+// Proposed returns the paper's proposed pipeline: I-Ordering + DP-fill.
+func Proposed() Pipeline {
+	return Pipeline{Orderer: order.Interleaved(), Filler: fill.DP()}
+}
+
+// Run reorders and fills the set, returning the filled set, the
+// permutation used, and the achieved peak toggle count.
+func (p Pipeline) Run(s *CubeSet) (*CubeSet, []int, int, error) {
+	perm, err := p.Orderer.Order(s)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	filled, err := p.Filler.Fill(s.Reorder(perm))
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return filled, perm, filled.PeakToggles(), nil
+}
+
+// ITC99Profiles returns the synthetic benchmark profiles of Table I.
+func ITC99Profiles() []Profile { return netgen.ITC99() }
+
+// GenerateCircuit synthesizes a profile-matched netlist.
+func GenerateCircuit(p Profile) (*Circuit, error) { return netgen.Generate(p) }
+
+// GenerateTests runs the PODEM ATPG on the circuit, returning
+// X-dominated test cubes in tool (generation) order.
+func GenerateTests(c *Circuit, opts atpg.Options) (*CubeSet, ATPGStats, error) {
+	return atpg.Generate(c, opts)
+}
+
+// ATPGOptions re-exports the ATPG tuning knobs.
+type ATPGOptions = atpg.Options
+
+// NewScanPlan builds a full-scan LOS plan with the given chain count.
+func NewScanPlan(c *Circuit, chains int) (*ScanPlan, error) {
+	return scan.NewPlan(c, scan.LOS, chains)
+}
+
+// ExtractPower builds the placement-based 45 nm power model for the
+// circuit.
+func ExtractPower(c *Circuit) *PowerModel {
+	return power.Extract(c, power.Default45nm())
+}

@@ -1,0 +1,104 @@
+package repro
+
+import (
+	"testing"
+)
+
+func TestFacadeDPFill(t *testing.T) {
+	s, err := ParseCubes("00", "XX", "XX", "11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	filled, res, err := DPFill(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Peak != 1 || !s.Covers(filled) {
+		t.Fatalf("peak=%d", res.Peak)
+	}
+	opt, err := OptimalPeak(s)
+	if err != nil || opt != 1 {
+		t.Fatalf("OptimalPeak = %d, %v", opt, err)
+	}
+}
+
+func TestFacadeFillsAndOrderings(t *testing.T) {
+	if len(Fills(1)) != 8 {
+		t.Fatalf("%d fills", len(Fills(1)))
+	}
+	if len(Orderings(1)) != 4 {
+		t.Fatalf("%d orderings", len(Orderings(1)))
+	}
+}
+
+func TestFacadePipeline(t *testing.T) {
+	s, err := ParseCubes("0101", "XXXX", "1010", "XXXX", "0011")
+	if err != nil {
+		t.Fatal(err)
+	}
+	filled, perm, peak, err := Proposed().Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perm) != 5 || !filled.FullySpecified() {
+		t.Fatalf("perm=%v", perm)
+	}
+	// The proposed pipeline's peak can never beat the per-ordering
+	// optimum of the best ordering, but must be a legal completion.
+	if peak < 0 || peak > s.Width {
+		t.Fatalf("peak=%d", peak)
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	profiles := ITC99Profiles()
+	if len(profiles) != 21 {
+		t.Fatalf("%d profiles", len(profiles))
+	}
+	var b03 Profile
+	for _, p := range profiles {
+		if p.Name == "b03" {
+			b03 = p
+		}
+	}
+	c, err := GenerateCircuit(b03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cubes, stats, err := GenerateTests(c, ATPGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Coverage() < 0.8 {
+		t.Fatalf("coverage %.2f", stats.Coverage())
+	}
+	filled, perm, peak, err := Proposed().Run(cubes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cubes.Reorder(perm).Covers(filled) {
+		t.Fatal("pipeline output is not a completion of the reordered set")
+	}
+	plan, err := NewScanPlan(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := plan.CaptureToggles(filled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := 0
+	for _, p := range prof {
+		if p > max {
+			max = p
+		}
+	}
+	if max != peak {
+		t.Fatalf("scan profile peak %d != pipeline peak %d", max, peak)
+	}
+	pm := ExtractPower(c)
+	pw, err := pm.PeakCapturePowerUW(filled)
+	if err != nil || pw <= 0 {
+		t.Fatalf("power %.3g, %v", pw, err)
+	}
+}
