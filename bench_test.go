@@ -14,6 +14,7 @@ package repro
 // cmd/experiments -full regenerates the profile-exact variant.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/bcp"
 	"repro/internal/core"
 	"repro/internal/cube"
+	"repro/internal/engine"
 	"repro/internal/exp"
 	"repro/internal/fill"
 	"repro/internal/order"
@@ -337,6 +339,109 @@ func BenchmarkIOrdering(b *testing.B) {
 		}
 	}
 }
+
+// --- Batch engine benchmarks ---
+//
+// BenchmarkEngine* prove the two parallelism layers: the batch engine
+// beats a serial loop over the same jobs at 4+ workers, and the sharded
+// core.Fill scan beats the single-shard scan on wide sets — with output
+// byte-identical to the serial path in both cases (verified once per
+// benchmark run).
+
+// engineBenchJobs builds a fixed batch of DP-fill jobs heavy enough for
+// scheduling overhead to be negligible.
+func engineBenchJobs() []engine.Job {
+	r := rand.New(rand.NewSource(23))
+	jobs := make([]engine.Job, 16)
+	for i := range jobs {
+		jobs[i] = engine.Job{
+			Name:   fmt.Sprintf("set%d", i),
+			Set:    randomCubeSet(r, 256, 160, 0.75),
+			Filler: fill.DP(),
+		}
+	}
+	return jobs
+}
+
+var engineGold sync.Once
+
+// verifyEngineGold pins the engine's parallel output to the serial
+// reference once per test binary run.
+func verifyEngineGold(b *testing.B, jobs []engine.Job) {
+	b.Helper()
+	engineGold.Do(func() {
+		serial := engine.New(1).Run(context.Background(), jobs)
+		parallel := engine.New(4).Run(context.Background(), jobs)
+		for i := range jobs {
+			if serial[i].Err != nil || parallel[i].Err != nil {
+				b.Fatalf("gold run failed: %v / %v", serial[i].Err, parallel[i].Err)
+			}
+			if serial[i].Filled.String() != parallel[i].Filled.String() {
+				b.Fatalf("job %d: parallel batch output differs from serial", i)
+			}
+		}
+	})
+}
+
+func benchEngine(b *testing.B, workers int) {
+	jobs := engineBenchJobs()
+	verifyEngineGold(b, jobs)
+	e := engine.New(workers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := e.Run(context.Background(), jobs)
+		if err := engine.FirstErr(res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineBatchSerial(b *testing.B)   { benchEngine(b, 1) }
+func BenchmarkEngineBatch4Workers(b *testing.B) { benchEngine(b, 4) }
+func BenchmarkEngineBatchMachine(b *testing.B)  { benchEngine(b, 0) }
+
+// shardBenchSet is wide enough (row-dominated) for the sharded stretch
+// scan to matter.
+func shardBenchSet() *cube.Set {
+	r := rand.New(rand.NewSource(29))
+	return randomCubeSet(r, 6000, 500, 0.9)
+}
+
+var shardGold sync.Once
+
+func verifyShardGold(b *testing.B, s *cube.Set) {
+	b.Helper()
+	shardGold.Do(func() {
+		serial, sres, err := core.FillWith(s, core.Options{Shards: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sharded, pres, err := core.FillWith(s, core.Options{Shards: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if serial.String() != sharded.String() {
+			b.Fatal("sharded Fill output differs from serial")
+		}
+		if sres.Peak != pres.Peak {
+			b.Fatalf("sharded peak %d != serial peak %d", pres.Peak, sres.Peak)
+		}
+	})
+}
+
+func benchShardedFill(b *testing.B, shards int) {
+	s := shardBenchSet()
+	verifyShardGold(b, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.FillWith(s, core.Options{Shards: shards}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineShardedFillSerial(b *testing.B) { benchShardedFill(b, 1) }
+func BenchmarkEngineShardedFill4(b *testing.B)      { benchShardedFill(b, 4) }
 
 func randomCubeSet(r *rand.Rand, width, n int, xProb float64) *cube.Set {
 	s := cube.NewSet(width)

@@ -1,25 +1,37 @@
 // Command dpfill applies a test-vector ordering and an X-filling
-// algorithm to a cube file (one cube per line, characters 0/1/X, '#'
-// comments) and reports the peak input toggle count. With -o it writes
-// the filled, reordered set.
+// algorithm to cube files (one cube per line, characters 0/1/X, '#'
+// comments) or STIL pattern files (.stil) and reports the peak input
+// toggle count. With -o it writes the filled, reordered set.
 //
 // Usage:
 //
 //	dpfill -in cubes.txt -order i -fill dp -o filled.txt
 //	dpfill -in cubes.txt -grid        # full ordering x fill grid
+//	dpfill -jobs a.txt,b.stil -workers 4 -outdir filled/
+//	dpfill -order i -fill dp a.txt b.txt c.txt
+//
+// With more than one input (via -jobs, repeated, and/or positional
+// arguments) the files are processed as a batch on the concurrent fill
+// engine: every job gets the same -order/-fill pipeline, failures are
+// reported per job without aborting the rest, and -outdir collects the
+// filled sets.
 //
 // Orderings: tool, xstat, i, isa. Fills: mt, r, 0, 1, b, adj, xstat, dp.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"text/tabwriter"
 
+	"repro/internal/core"
 	"repro/internal/cube"
+	"repro/internal/engine"
 	"repro/internal/fill"
 	"repro/internal/order"
 )
@@ -31,6 +43,20 @@ func main() {
 	}
 }
 
+// jobsFlag accumulates -jobs values: the flag is repeatable and each
+// value may hold a comma-separated file list.
+type jobsFlag []string
+
+func (j *jobsFlag) String() string { return strings.Join(*j, ",") }
+func (j *jobsFlag) Set(s string) error {
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			*j = append(*j, part)
+		}
+	}
+	return nil
+}
+
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("dpfill", flag.ContinueOnError)
 	in := fs.String("in", "-", "input cube file ('-' = stdin)")
@@ -39,8 +65,37 @@ func run(args []string, stdout io.Writer) error {
 	fillName := fs.String("fill", "dp", "fill: mt|r|0|1|b|adj|xstat|dp")
 	seed := fs.Int64("seed", 1, "seed for randomized algorithms")
 	grid := fs.Bool("grid", false, "evaluate the full ordering x fill grid instead")
+	var jobs jobsFlag
+	fs.Var(&jobs, "jobs", "comma-separated input files to batch-fill (repeatable)")
+	workers := fs.Int("workers", 0, "batch engine worker bound (0 = GOMAXPROCS)")
+	outdir := fs.String("outdir", "", "directory for batch-mode filled sets")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	inputs := append([]string(nil), jobs...)
+	inputs = append(inputs, fs.Args()...)
+	// Batch mode: any -jobs use, multiple inputs, or an output directory.
+	if len(jobs) > 0 || len(inputs) > 1 || *outdir != "" {
+		switch {
+		case *grid:
+			return fmt.Errorf("-grid is single-input only")
+		case explicit["in"]:
+			return fmt.Errorf("-in is single-input only; pass batch inputs via -jobs or arguments")
+		case explicit["o"]:
+			return fmt.Errorf("-o is single-input only; use -outdir in batch mode")
+		case len(inputs) == 0:
+			return fmt.Errorf("batch mode needs input files (-jobs or arguments)")
+		}
+		return runBatch(stdout, inputs, *ordName, *fillName, *seed, *workers, *outdir)
+	}
+	// A single positional argument is shorthand for -in.
+	if len(inputs) == 1 {
+		if explicit["in"] {
+			return fmt.Errorf("both -in %s and argument %s given; pass one input, or use batch mode for several", *in, inputs[0])
+		}
+		*in = inputs[0]
 	}
 
 	var r io.Reader = os.Stdin
@@ -52,7 +107,7 @@ func run(args []string, stdout io.Writer) error {
 		defer f.Close()
 		r = f
 	}
-	set, err := cube.ReadSet(r)
+	set, err := readCubes(r, *in)
 	if err != nil {
 		return err
 	}
@@ -94,6 +149,136 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "wrote %s\n", *out)
 	}
 	return nil
+}
+
+// readCubes parses r as STIL when the path ends in .stil, plain cube
+// lines otherwise.
+func readCubes(r io.Reader, path string) (*cube.Set, error) {
+	if strings.EqualFold(filepath.Ext(path), ".stil") {
+		return cube.ReadSTIL(r)
+	}
+	return cube.ReadSet(r)
+}
+
+func readCubeFile(path string) (*cube.Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return readCubes(f, path)
+}
+
+// batchFillerByName resolves a filler for batch mode. DP-fill is pinned
+// to a single shard: the engine's worker pool already saturates the
+// CPU, so the fill's internal fan-out would only oversubscribe it.
+func batchFillerByName(name string, seed int64) (fill.Filler, error) {
+	switch strings.ToLower(name) {
+	case "dp", "dpfill", "dp-fill":
+		return fill.DPWith(core.Options{Shards: 1}), nil
+	}
+	return fillerByName(name, seed)
+}
+
+// runBatch fills every input file through the concurrent engine with
+// one shared ordering + fill pipeline and prints a per-job report.
+// Failing jobs — unreadable inputs included — are reported inline
+// without aborting the rest; the first failure is returned after every
+// job has run.
+func runBatch(stdout io.Writer, inputs []string, ordName, fillName string, seed int64, workers int, outdir string) error {
+	ord, err := ordererByName(ordName, seed)
+	if err != nil {
+		return err
+	}
+	fl, err := batchFillerByName(fillName, seed)
+	if err != nil {
+		return err
+	}
+	// Read every input, isolating failures per job: unreadable files
+	// become pre-failed result rows, readable ones engine jobs.
+	results := make([]engine.Result, len(inputs))
+	var batch []engine.Job
+	var batchIdx []int // batch[k] fills results[batchIdx[k]]
+	for i, path := range inputs {
+		set, err := readCubeFile(path)
+		if err != nil {
+			results[i] = engine.Result{Job: i, Name: path, Err: err}
+			continue
+		}
+		batch = append(batch, engine.Job{Name: path, Set: set, Orderer: ord, Filler: fl})
+		batchIdx = append(batchIdx, i)
+	}
+	eng := engine.New(workers)
+	for k, r := range eng.Run(context.Background(), batch) {
+		r.Job = batchIdx[k]
+		results[batchIdx[k]] = r
+	}
+
+	if outdir != "" {
+		if err := os.MkdirAll(outdir, 0o755); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stdout, "%s + %s over %d jobs (worker bound %d)\n",
+		ord.Name(), fl.Name(), len(inputs), eng.Workers)
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "job\tcubes\twidth\tX%\tpeak\ttotal\tms\tstatus")
+	failures := 0
+	for i, r := range results {
+		if r.Err != nil {
+			failures++
+			shape := "-\t-\t-"
+			if set := inputSet(batch, batchIdx, i); set != nil {
+				shape = fmt.Sprintf("%d\t%d\t%.1f", set.Len(), set.Width, set.XPercent())
+			}
+			fmt.Fprintf(tw, "%s\t%s\t-\t-\t%.2f\t%v\n",
+				r.Name, shape, float64(r.Duration.Microseconds())/1000, r.Err)
+			continue
+		}
+		set := inputSet(batch, batchIdx, i)
+		status := "ok"
+		if outdir != "" {
+			base := strings.TrimSuffix(filepath.Base(r.Name), filepath.Ext(r.Name))
+			dst := filepath.Join(outdir, base+".filled")
+			if err := writeSet(dst, r.Filled); err != nil {
+				failures++
+				results[i].Err = err
+				status = err.Error()
+			} else {
+				status = "wrote " + dst
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f\t%d\t%d\t%.2f\t%s\n",
+			r.Name, set.Len(), set.Width, set.XPercent(), r.Peak, r.Total,
+			float64(r.Duration.Microseconds())/1000, status)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d jobs failed: first: %w", failures, len(inputs), engine.FirstErr(results))
+	}
+	return nil
+}
+
+// inputSet returns the cube set submitted for display row i, or nil
+// when that input never became a job (read failure).
+func inputSet(batch []engine.Job, batchIdx []int, i int) *cube.Set {
+	for k, idx := range batchIdx {
+		if idx == i {
+			return batch[k].Set
+		}
+	}
+	return nil
+}
+
+func writeSet(path string, s *cube.Set) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.Write(f)
 }
 
 func runGrid(stdout io.Writer, set *cube.Set, seed int64) error {

@@ -64,6 +64,99 @@ func TestRunGrid(t *testing.T) {
 	}
 }
 
+func TestRunBatch(t *testing.T) {
+	dir := t.TempDir()
+	a := writeCubes(t, dir, "0X1X", "XXXX", "1X0X")
+	// Second input as STIL to exercise format detection.
+	stil := filepath.Join(dir, "b.stil")
+	s := cube.MustParseSet("0XX1", "1XX0", "XX01")
+	f, err := os.Create(stil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cube.WriteSTIL(f, s, "b"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	outdir := filepath.Join(dir, "filled")
+	var sb strings.Builder
+	args := []string{"-jobs", a + "," + stil, "-workers", "2", "-order", "i", "-fill", "dp", "-outdir", outdir}
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("batch run: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"2 jobs", "in.cubes", "b.stil", "peak"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("batch output missing %q:\n%s", want, out)
+		}
+	}
+	for _, name := range []string{"in.filled", "b.filled"} {
+		g, err := os.Open(filepath.Join(outdir, name))
+		if err != nil {
+			t.Fatalf("missing batch output %s: %v", name, err)
+		}
+		got, err := cube.ReadSet(g)
+		g.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.FullySpecified() {
+			t.Errorf("%s not fully specified", name)
+		}
+	}
+}
+
+func TestRunBatchPositionalArgs(t *testing.T) {
+	dir := t.TempDir()
+	a := writeCubes(t, dir, "0X", "1X")
+	var sb strings.Builder
+	if err := run([]string{"-fill", "dp", a, a}, &sb); err != nil {
+		t.Fatalf("positional batch: %v", err)
+	}
+	if !strings.Contains(sb.String(), "2 jobs") {
+		t.Fatalf("positional args not batched:\n%s", sb.String())
+	}
+}
+
+func TestRunBatchErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := writeCubes(t, dir, "0X1X", "1XX0")
+	var sb strings.Builder
+	err := run([]string{"-jobs", good + "," + filepath.Join(dir, "missing.cubes")}, &sb)
+	if err == nil {
+		t.Fatal("missing batch input accepted")
+	}
+	// The unreadable input must not take down the readable one.
+	if !strings.Contains(sb.String(), "ok") || !strings.Contains(sb.String(), "missing.cubes") {
+		t.Fatalf("read failure not isolated per job:\n%s", sb.String())
+	}
+	// Single-input flags are rejected in batch mode.
+	sb.Reset()
+	if err := run([]string{"-o", filepath.Join(dir, "x"), good, good}, &sb); err == nil {
+		t.Error("-o accepted in batch mode")
+	}
+	sb.Reset()
+	if err := run([]string{"-in", good, "-jobs", good}, &sb); err == nil {
+		t.Error("-in accepted in batch mode")
+	}
+	// -in plus a positional input is ambiguous, not a silent override.
+	sb.Reset()
+	if err := run([]string{"-in", good, good}, &sb); err == nil {
+		t.Error("-in plus positional input accepted silently")
+	}
+	// Grid stays single-input.
+	sb.Reset()
+	if err := run([]string{"-grid", good, good}, &sb); err == nil {
+		t.Error("-grid accepted with multiple inputs")
+	}
+	// Batch flags with no inputs.
+	sb.Reset()
+	if err := run([]string{"-outdir", dir}, &sb); err == nil {
+		t.Error("batch mode accepted with no inputs")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	in := writeCubes(t, dir, "01")

@@ -46,6 +46,8 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "master seed")
 	maxFaults := fs.Int("max-faults", 0, "override ATPG fault sample size")
 	cacheDir := fs.String("cache", "", "cube-set cache directory (recommended with -full)")
+	workers := fs.Int("workers", 0, "batch engine worker bound (0 = GOMAXPROCS)")
+	timing := fs.Bool("timing", false, "print per-job engine timings after Tables II-IV")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,6 +93,9 @@ func run(args []string) error {
 		cfg.Circuits = strings.Split(*circuits, ",")
 	}
 	cfg.CacheDir = *cacheDir
+	if *workers > 0 {
+		cfg.Parallelism = *workers
+	}
 
 	var suite *exp.Suite
 	if needSuite {
@@ -128,6 +133,11 @@ func run(args []string) error {
 			if err := exp.RenderPeakTable(out, "Tool", rows); err != nil {
 				return err
 			}
+			if *timing {
+				if err := exp.RenderPeakTimings(out, "Tool", rows); err != nil {
+					return err
+				}
+			}
 		case "3":
 			rows, err := suite.TableIII()
 			if err != nil {
@@ -138,6 +148,11 @@ func run(args []string) error {
 			if err := exp.RenderPeakTable(out, "X-Stat", rows); err != nil {
 				return err
 			}
+			if *timing {
+				if err := exp.RenderPeakTimings(out, "X-Stat", rows); err != nil {
+					return err
+				}
+			}
 		case "4":
 			rows, err := suite.TableIV()
 			if err != nil {
@@ -147,6 +162,11 @@ func run(args []string) error {
 			fmt.Fprintln(out, "== Table IV: peak input toggles, I-Ordering ==")
 			if err := exp.RenderPeakTable(out, "I-Order", rows); err != nil {
 				return err
+			}
+			if *timing {
+				if err := exp.RenderPeakTimings(out, "I-Order", rows); err != nil {
+					return err
+				}
 			}
 		case "5":
 			rows, err := suite.TableV()

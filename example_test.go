@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -58,4 +59,30 @@ func ExampleProposed() {
 	fmt.Println("cubes:", filled.Len(), "perm len:", len(perm), "peak:", peak)
 	// Output:
 	// cubes: 4 perm len: 4 peak: 2
+}
+
+// Many cube sets fill concurrently through the batch engine: one job
+// per set, a bounded worker pool, results in submission order.
+func ExampleNewEngine() {
+	mustParse := func(cubes ...string) *repro.CubeSet {
+		s, err := repro.ParseCubes(cubes...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return s
+	}
+	jobs := []repro.BatchJob{
+		{Name: "a", Set: mustParse("00", "XX", "11"), Orderer: repro.IOrdering(), Filler: repro.Proposed().Filler},
+		{Name: "b", Set: mustParse("0X1", "1X0", "0X0"), Filler: repro.Proposed().Filler},
+	}
+	results := repro.NewEngine(4).Run(context.Background(), jobs)
+	if err := repro.BatchErr(results); err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("%s: peak %d\n", r.Name, r.Peak)
+	}
+	// Output:
+	// a: peak 1
+	// b: peak 2
 }

@@ -70,6 +70,10 @@ type Mapping struct {
 
 // Map performs the reduction of §V-C on a copy of the input set. The
 // input set is not modified.
+//
+// Map is the serial per-trit reference implementation; MapSharded is
+// the packed, parallel production path and produces identical output
+// (TestMapShardedMatchesSerial pins the equivalence).
 func Map(s *cube.Set) *Mapping {
 	out := s.Clone()
 	n := out.Len()
@@ -152,8 +156,22 @@ type Result struct {
 // returns a fully specified set achieving the minimum possible peak
 // toggle count for that ordering, together with run statistics. The
 // input set is not modified.
+//
+// The stretch-extraction scan runs on the bit-packed row representation
+// and fans out across row shards sized to the machine; use FillWith to
+// pin the shard count. Every schedule produces byte-identical output.
 func Fill(s *cube.Set) (*cube.Set, *Result, error) {
-	mp := Map(s)
+	return FillWith(s, Options{})
+}
+
+// FillWith is Fill with explicit execution options.
+func FillWith(s *cube.Set, opt Options) (*cube.Set, *Result, error) {
+	return fillMapping(MapSharded(s, opt.Shards))
+}
+
+// fillMapping solves and reconstructs a completed reduction: the shared
+// back half of Fill regardless of how the Mapping was produced.
+func fillMapping(mp *Mapping) (*cube.Set, *Result, error) {
 	intervals := make([]bcp.Interval, len(mp.Intervals))
 	forced := 0
 	for i, ti := range mp.Intervals {
@@ -189,14 +207,17 @@ func Fill(s *cube.Set) (*cube.Set, *Result, error) {
 
 // Bottleneck computes the optimal peak toggle count of the ordering
 // without materializing the filled set. It is the evaluation primitive
-// Algorithm 3 (I-Ordering) calls once per candidate interleaving.
+// Algorithm 3 (I-Ordering) calls once per candidate interleaving; it
+// runs the packed single-shard scan and skips the pre-filled set
+// entirely (callers such as I-Ordering and the batch engine already
+// parallelize at coarser granularity).
 func Bottleneck(s *cube.Set) (int, error) {
-	mp := Map(s)
-	intervals := make([]bcp.Interval, len(mp.Intervals))
-	for i, ti := range mp.Intervals {
+	tis := scanIntervals(s)
+	intervals := make([]bcp.Interval, len(tis))
+	for i, ti := range tis {
 		intervals[i] = ti.Interval()
 	}
-	inst, err := bcp.NewInstance(mp.NumCycles, intervals)
+	inst, err := bcp.NewInstance(maxInt(0, s.Len()-1), intervals)
 	if err != nil {
 		return 0, err
 	}

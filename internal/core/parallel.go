@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"repro/internal/cube"
+)
+
+// Options tunes how Fill executes. The algorithm and its output are
+// identical for every setting; only the schedule changes.
+type Options struct {
+	// Shards is the number of row shards the Map scan fans out across.
+	// 0 picks GOMAXPROCS; 1 runs the scan inline (no goroutines).
+	Shards int
+}
+
+// smallScanCutoff is the matrix size (trits) below which sharding the
+// row scan costs more in goroutine startup than it saves; such sets run
+// on one shard regardless of Options.Shards = 0 defaulting.
+const smallScanCutoff = 1 << 15
+
+// resolveShards clamps the shard count to something sensible for an
+// m-row matrix of the given size.
+func resolveShards(requested, rows, trits int) int {
+	s := requested
+	if s <= 0 {
+		s = runtime.GOMAXPROCS(0)
+		if trits < smallScanCutoff {
+			s = 1
+		}
+	}
+	if s > rows {
+		s = rows
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// MapSharded is Map on the bit-packed row representation, fanned out
+// across contiguous row shards. Rows are independent (each pin's
+// X-stretch scan touches only that pin), so shards run concurrently and
+// their interval lists are concatenated in shard order, which is row
+// order — the result is identical, entry for entry, to the serial Map.
+// shards <= 0 picks a machine-sized default.
+func MapSharded(s *cube.Set, shards int) *Mapping {
+	n := s.Len()
+	m := &Mapping{NumCycles: maxInt(0, n-1)}
+
+	// Fresh set to unpack the pre-filled rows into. One flat backing
+	// buffer serves every cube: UnpackCubes overwrites all of it, so the
+	// zeroed make suffices and the allocator is hit once.
+	out := cube.NewSet(s.Width)
+	buf := make(cube.Cube, s.Width*n)
+	for j := 0; j < n; j++ {
+		out.Append(buf[j*s.Width : (j+1)*s.Width : (j+1)*s.Width])
+	}
+	m.Prefilled = out
+
+	rows := s.Width
+	if rows == 0 {
+		return m
+	}
+	shards = resolveShards(shards, rows, rows*n)
+	pr := cube.PackRows(s)
+
+	if shards == 1 {
+		m.Intervals = scanRows(pr, 0, rows)
+		pr.UnpackCubes(out, 0, n)
+		return m
+	}
+
+	// Phase 1: the stretch scan fans out across contiguous row shards —
+	// each pin row's scan touches only that row's packed planes.
+	perShard := make([][]ToggleInterval, shards)
+	chunk := (rows + shards - 1) / shards
+	var wg sync.WaitGroup
+	for sh := 0; sh < shards; sh++ {
+		lo, hi := sh*chunk, (sh+1)*chunk
+		if hi > rows {
+			hi = rows
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(sh, lo, hi int) {
+			defer wg.Done()
+			perShard[sh] = scanRows(pr, lo, hi)
+		}(sh, lo, hi)
+	}
+	wg.Wait()
+
+	// Merge in shard order = row order, so the interval list is
+	// entry-for-entry identical to the serial Map's.
+	total := 0
+	for _, p := range perShard {
+		total += len(p)
+	}
+	m.Intervals = make([]ToggleInterval, 0, total)
+	for _, p := range perShard {
+		m.Intervals = append(m.Intervals, p...)
+	}
+
+	// Phase 2: unpack the pre-filled planes into the output set,
+	// sharded over disjoint cube (column) ranges.
+	colChunk := (n + shards - 1) / shards
+	for sh := 0; sh < shards; sh++ {
+		lo, hi := sh*colChunk, (sh+1)*colChunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			pr.UnpackCubes(out, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return m
+}
+
+// scanIntervals runs the packed stretch scan for its interval list
+// only, skipping the output-set allocation and unpack that Map-based
+// callers need — the fast path for Bottleneck's hot loop.
+func scanIntervals(s *cube.Set) []ToggleInterval {
+	if s.Width == 0 || s.Len() == 0 {
+		return nil
+	}
+	return scanRows(cube.PackRows(s), 0, s.Width)
+}
+
+// scanRows maps rows [lo, hi) on the packed representation: pre-fills
+// their fillable stretches in pr's planes and returns their toggle
+// intervals in row order.
+func scanRows(pr *cube.PackedRows, lo, hi int) []ToggleInterval {
+	var intervals []ToggleInterval
+	for i := lo; i < hi; i++ {
+		mapRowPacked(i, pr, &intervals)
+	}
+	return intervals
+}
+
+// mapRowPacked is mapRow on the packed row planes: one pass over the
+// row's care words, iterating set bits with TrailingZeros64, with
+// stretch pre-fills as word ORs — an X run costs one word op per 64
+// columns instead of 64 per-trit loop steps. The fill rules are
+// identical to mapRow's.
+func mapRowPacked(row int, pr *cube.PackedRows, out *[]ToggleInterval) {
+	n := pr.N
+	if n == 0 {
+		return
+	}
+	care, val := pr.RowWords(row)
+	prev := -1 // last care column seen, -1 before the first
+	var prevVal cube.Trit
+	for w, cur := range care {
+		for cur != 0 {
+			j := w*64 + bits.TrailingZeros64(cur)
+			cur &= cur - 1
+			jv := cube.Zero
+			if val[w]&(1<<(j%64)) != 0 {
+				jv = cube.One
+			}
+			switch {
+			case prev < 0:
+				// Leading Xs copy the first care bit (no toggle
+				// possible).
+				pr.FillSpan(row, 0, j-1, jv)
+			case jv == prevVal:
+				// Equal boundaries: pre-fill with the common value.
+				pr.FillSpan(row, prev+1, j-1, prevVal)
+			default:
+				// Unequal boundaries: one toggle somewhere in cycles
+				// prev..j-1. Keep the Xs; reconstruction fills them.
+				*out = append(*out, ToggleInterval{
+					Row: row, LeftCol: prev, RightCol: j, LeftVal: prevVal,
+				})
+			}
+			prev, prevVal = j, jv
+		}
+	}
+	if prev < 0 {
+		// Fully-X row: any constant works; use 0.
+		pr.FillSpan(row, 0, n-1, cube.Zero)
+		return
+	}
+	// Trailing Xs copy the last care bit.
+	pr.FillSpan(row, prev+1, n-1, prevVal)
+}

@@ -1,0 +1,30 @@
+package core
+
+// Micro-benchmarks of the §V-C reduction scan: the serial per-trit
+// reference Map versus the packed single-shard scan MapSharded(s, 1).
+// The packed path wins even without parallelism (word-skipping over X
+// runs plus cache-blocked transposes); row sharding stacks on top of it
+// on multi-core machines.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkMapPerTrit(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	s := randomSet(r, 2000, 400, 0.85)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Map(s)
+	}
+}
+
+func BenchmarkMapPacked1(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	s := randomSet(r, 2000, 400, 0.85)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MapSharded(s, 1)
+	}
+}

@@ -80,3 +80,214 @@ func (p *Packed) XUnion(i, j int) int {
 func (p *Packed) Expected2(i, j int) int {
 	return 2*p.HD(i, j) + p.XUnion(i, j)
 }
+
+// PackedRows is the transpose companion of Packed: the m×n trit matrix A
+// of §V-C stored row-major as bit-planes. Row i holds pin i across all n
+// cubes as a (care-mask, value) pair of uint64 word slices over columns,
+// so the X-stretch scans that dominate DP-fill's Map step skip 64
+// columns per word operation instead of walking trits one by one, and
+// pre-filling a stretch becomes a handful of word ORs.
+//
+// Unlike Packed, PackedRows is mutable: FillSpan specifies previously-X
+// columns in place, and UnpackRow/UnpackTo convert rows back into the
+// cube-major Set layout. Distinct rows are independent, so concurrent
+// use is safe as long as no two goroutines touch the same row.
+type PackedRows struct {
+	// Width is the number of pin rows m; N the number of cubes
+	// (columns); Words is ceil(N/64).
+	Width, N, Words int
+	care            [][]uint64 // care[i][w]: bit set where row i column is specified
+	val             [][]uint64 // val[i][w]: bit set where row i column is One
+	// careBuf/valBuf are the contiguous backing arrays of the row
+	// views; row i occupies words [i*Words, (i+1)*Words). Column-major
+	// decoders index them directly to trade large-stride writes for
+	// small-stride reads.
+	careBuf, valBuf []uint64
+}
+
+// PackRows builds the mutable row-major snapshot of s.
+func PackRows(s *Set) *PackedRows {
+	words := (s.Len() + 63) / 64
+	p := &PackedRows{Width: s.Width, N: s.Len(), Words: words}
+	// One backing array per plane keeps rows contiguous in memory.
+	p.careBuf = make([]uint64, s.Width*words)
+	p.valBuf = make([]uint64, s.Width*words)
+	p.care = make([][]uint64, s.Width)
+	p.val = make([][]uint64, s.Width)
+	for i := 0; i < s.Width; i++ {
+		p.care[i] = p.careBuf[i*words : (i+1)*words : (i+1)*words]
+		p.val[i] = p.valBuf[i*words : (i+1)*words : (i+1)*words]
+	}
+	// Tiled transpose, mirroring UnpackCubes: accumulate one 64-cube
+	// word block × tileRows rows in scratch, then flush — the flush is
+	// the only strided traffic.
+	var careW, valW [transposeTile]uint64
+	for w := 0; w < words; w++ {
+		jlo, jhi := w*64, (w+1)*64
+		if jhi > p.N {
+			jhi = p.N
+		}
+		for i0 := 0; i0 < p.Width; i0 += transposeTile {
+			i1 := i0 + transposeTile
+			if i1 > p.Width {
+				i1 = p.Width
+			}
+			for k := range careW[:i1-i0] {
+				careW[k], valW[k] = 0, 0
+			}
+			for j := jlo; j < jhi; j++ {
+				bit := uint64(1) << (j % 64)
+				c := s.Cubes[j][i0:i1]
+				for k, t := range c {
+					if t == X {
+						continue
+					}
+					careW[k] |= bit
+					if t == One {
+						valW[k] |= bit
+					}
+				}
+			}
+			for i := i0; i < i1; i++ {
+				p.careBuf[i*words+w] = careW[i-i0]
+				p.valBuf[i*words+w] = valW[i-i0]
+			}
+		}
+	}
+	return p
+}
+
+// transposeTile is the row-tile height of the cache-blocked
+// pack/unpack transposes (tile footprint: 2 planes × 128 words = 2 KiB,
+// comfortably L1-resident).
+const transposeTile = 128
+
+// At returns the trit of row i at column j.
+func (p *PackedRows) At(i, j int) Trit {
+	w, bit := j/64, uint64(1)<<(j%64)
+	if p.care[i][w]&bit == 0 {
+		return X
+	}
+	if p.val[i][w]&bit != 0 {
+		return One
+	}
+	return Zero
+}
+
+// RowWords returns the care and value word planes of row i. The slices
+// alias the packed buffers: callers may scan them directly (the fast
+// path for stretch extraction) but must mutate only through FillSpan.
+func (p *PackedRows) RowWords(i int) (care, val []uint64) { return p.care[i], p.val[i] }
+
+// FillSpan specifies columns lo..hi (inclusive) of row i with the care
+// value v. The span must currently be all X; spans with hi < lo are
+// no-ops.
+func (p *PackedRows) FillSpan(i, lo, hi int, v Trit) {
+	if hi < lo {
+		return
+	}
+	setRange(p.care[i], lo, hi)
+	if v == One {
+		setRange(p.val[i], lo, hi)
+	}
+}
+
+// setRange sets bits lo..hi inclusive in the word slice.
+func setRange(words []uint64, lo, hi int) {
+	lw, hw := lo/64, hi/64
+	loMask := ^uint64(0) << (lo % 64)
+	hiMask := ^uint64(0) >> (63 - hi%64)
+	if lw == hw {
+		words[lw] |= loMask & hiMask
+		return
+	}
+	words[lw] |= loMask
+	for w := lw + 1; w < hw; w++ {
+		words[w] = ^uint64(0)
+	}
+	words[hw] |= hiMask
+}
+
+// UnpackRow decodes row i into dst, which must have length N. X columns
+// stay X.
+func (p *PackedRows) UnpackRow(i int, dst []Trit) {
+	if len(dst) != p.N {
+		panic("cube: UnpackRow destination length mismatch")
+	}
+	care, val := p.care[i], p.val[i]
+	for j := 0; j < p.N; j++ {
+		w, bit := j/64, uint64(1)<<(j%64)
+		switch {
+		case care[w]&bit == 0:
+			dst[j] = X
+		case val[w]&bit != 0:
+			dst[j] = One
+		default:
+			dst[j] = Zero
+		}
+	}
+}
+
+// UnpackCubes decodes columns [lo, hi) into the corresponding cubes of
+// s: the column-major counterpart of UnpackRow. Disjoint column ranges
+// decode independently, so callers can fan the ranges out across
+// goroutines.
+//
+// The decode is tiled like a bit-matrix transpose: one 64-column word
+// block × tileRows rows at a time. The tile's words are staged into a
+// scratch array once (the only strided reads), then every cube in the
+// block receives a short sequential run of trit writes — without the
+// tiling, either the reads or the writes walk the full matrix with a
+// cache-hostile stride.
+func (p *PackedRows) UnpackCubes(s *Set, lo, hi int) {
+	if len(s.Cubes) != p.N || s.Width != p.Width {
+		panic("cube: UnpackCubes shape mismatch")
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > p.N {
+		hi = p.N
+	}
+	if lo >= hi {
+		return
+	}
+	var careW, valW [transposeTile]uint64
+	for w := lo / 64; w <= (hi-1)/64; w++ {
+		jlo, jhi := w*64, (w+1)*64
+		if jlo < lo {
+			jlo = lo
+		}
+		if jhi > hi {
+			jhi = hi
+		}
+		for i0 := 0; i0 < p.Width; i0 += transposeTile {
+			i1 := i0 + transposeTile
+			if i1 > p.Width {
+				i1 = p.Width
+			}
+			for i := i0; i < i1; i++ {
+				careW[i-i0] = p.careBuf[i*p.Words+w]
+				valW[i-i0] = p.valBuf[i*p.Words+w]
+			}
+			for j := jlo; j < jhi; j++ {
+				shift := uint(j % 64)
+				c := s.Cubes[j][i0:i1]
+				for k := range c {
+					// Branchless decode: care=0 → X(2); care=1 → val.
+					cb := (careW[k] >> shift) & 1
+					vb := (valW[k] >> shift) & 1
+					c[k] = Trit(((cb ^ 1) << 1) | (cb & vb))
+				}
+			}
+		}
+	}
+}
+
+// UnpackTo writes every row back into s, which must have matching shape.
+func (p *PackedRows) UnpackTo(s *Set) {
+	if s.Width != p.Width || len(s.Cubes) != p.N {
+		panic("cube: UnpackTo shape mismatch")
+	}
+	p.UnpackCubes(s, 0, p.N)
+}

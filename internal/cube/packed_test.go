@@ -41,6 +41,68 @@ func TestPackSnapshotSemantics(t *testing.T) {
 	}
 }
 
+func TestPackRowsRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Cross the 64-column word boundary regularly.
+		s := randomSet(r, 1+r.Intn(8), 1+r.Intn(200), 0.6)
+		p := PackRows(s)
+		got := NewSet(s.Width)
+		for j := 0; j < s.Len(); j++ {
+			got.Append(New(s.Width))
+		}
+		p.UnpackTo(got)
+		return got.Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackRowsAtMatchesSource(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	s := randomSet(r, 7, 130, 0.5)
+	p := PackRows(s)
+	for i := 0; i < s.Width; i++ {
+		for j := 0; j < s.Len(); j++ {
+			if p.At(i, j) != s.Cubes[j][i] {
+				t.Fatalf("At(%d,%d) = %v, want %v", i, j, p.At(i, j), s.Cubes[j][i])
+			}
+		}
+	}
+}
+
+func TestPackRowsFillSpan(t *testing.T) {
+	// 200 columns spans four words; fill ranges that start, cross and end
+	// at word boundaries.
+	n := 200
+	s := NewSet(1)
+	for j := 0; j < n; j++ {
+		s.Append(New(1))
+	}
+	for _, span := range [][2]int{{0, 0}, {0, 63}, {5, 64}, {63, 64}, {64, 127}, {60, 140}, {199, 199}, {10, 5}} {
+		p := PackRows(s)
+		p.FillSpan(0, span[0], span[1], One)
+		row := make([]Trit, n)
+		p.UnpackRow(0, row)
+		for j := 0; j < n; j++ {
+			want := X
+			if j >= span[0] && j <= span[1] {
+				want = One
+			}
+			if row[j] != want {
+				t.Fatalf("span %v: column %d = %v, want %v", span, j, row[j], want)
+			}
+		}
+	}
+	// Zero fills specify without setting value bits.
+	p := PackRows(s)
+	p.FillSpan(0, 70, 80, Zero)
+	if p.At(0, 75) != Zero || p.At(0, 69) != X || p.At(0, 81) != X {
+		t.Fatal("zero FillSpan misplaced")
+	}
+}
+
 func TestPackWordBoundary(t *testing.T) {
 	// Width 65 exercises the second word.
 	a := New(65)

@@ -1,0 +1,192 @@
+// Package engine is the concurrent batch fill engine: it takes N
+// independent jobs (an ordered cube set plus the ordering/filling
+// algorithms to run on it) and executes them across a bounded worker
+// pool, collecting per-job results, timings and errors.
+//
+// The engine is the scaling seam of the repository: every consumer that
+// processes more than one cube set — cmd/dpfill's multi-file batch mode,
+// the fillers × circuits grids of internal/exp, future service
+// front-ends — funnels its work through Engine.Run instead of writing
+// its own goroutine pool. Jobs are isolated: a job whose filler fails
+// (or panics) reports the failure in its own Result slot while every
+// other job runs to completion, and results always come back in
+// submission order regardless of scheduling, so batch output is
+// deterministic for deterministic algorithms.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cube"
+	"repro/internal/fill"
+	"repro/internal/order"
+)
+
+// Job is one unit of batch work.
+type Job struct {
+	// Name labels the job in results and error messages (a file name, a
+	// circuit name...). Optional.
+	Name string
+	// Set is the cube set to process. Required. The engine never
+	// modifies it: orderers and fillers in this repository operate on
+	// copies.
+	Set *cube.Set
+	// Orderer, when non-nil, reorders the set before filling.
+	Orderer order.Orderer
+	// Filler completes the (re)ordered set. Required.
+	Filler fill.Filler
+}
+
+// Result is the outcome of one job. Exactly one of Filled/Err is
+// meaningful: on error Filled is nil and the remaining fields are
+// whatever had been computed when the job failed.
+type Result struct {
+	// Job is the index of the job in the submitted slice.
+	Job int
+	// Name echoes Job.Name.
+	Name string
+	// Perm is the applied ordering permutation; nil when no Orderer was
+	// set.
+	Perm []int
+	// Filled is the fully specified output set.
+	Filled *cube.Set
+	// Peak and Total are the peak and total toggle counts of Filled.
+	Peak, Total int
+	// Duration is the job's wall-clock time inside a worker.
+	Duration time.Duration
+	// Err is the job's failure, if any.
+	Err error
+}
+
+// Engine runs batches of jobs over a bounded worker pool. The zero
+// value is valid and sizes the pool to the machine.
+type Engine struct {
+	// Workers bounds concurrent jobs; <= 0 means GOMAXPROCS.
+	Workers int
+	// Verify, when set, checks that every filled set is a legal
+	// completion of its input (cube.Set.Covers) and fails the job
+	// otherwise — a cheap production guard against a misbehaving Filler.
+	Verify bool
+}
+
+// New returns an engine with the given worker bound; <= 0 sizes the
+// pool to the machine.
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{Workers: workers}
+}
+
+// workerCount resolves the configured bound against the batch size.
+func (e *Engine) workerCount(jobs int) int {
+	w := e.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes the batch and returns one Result per job, in submission
+// order. It blocks until every job has finished or the context is
+// cancelled; jobs not yet started when the context fires are marked
+// with ctx.Err() instead of running.
+func (e *Engine) Run(ctx context.Context, jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	workers := e.workerCount(len(jobs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				results[i] = e.runJob(ctx, i, jobs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// runJob executes one job, translating panics and context cancellation
+// into the job's error slot.
+func (e *Engine) runJob(ctx context.Context, idx int, job Job) (res Result) {
+	res = Result{Job: idx, Name: job.Name}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Filled = nil
+			res.Err = fmt.Errorf("engine: job %d (%s) panicked: %v", idx, job.Name, r)
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	start := time.Now()
+	defer func() { res.Duration = time.Since(start) }()
+
+	switch {
+	case job.Set == nil:
+		res.Err = fmt.Errorf("engine: job %d (%s): nil cube set", idx, job.Name)
+		return res
+	case job.Filler == nil:
+		res.Err = fmt.Errorf("engine: job %d (%s): nil filler", idx, job.Name)
+		return res
+	}
+	set := job.Set
+	if job.Orderer != nil {
+		perm, err := job.Orderer.Order(set)
+		if err != nil {
+			res.Err = fmt.Errorf("engine: job %d (%s): %s ordering: %w",
+				idx, job.Name, job.Orderer.Name(), err)
+			return res
+		}
+		res.Perm = perm
+		set = set.Reorder(perm)
+	}
+	filled, err := job.Filler.Fill(set)
+	if err != nil {
+		res.Err = fmt.Errorf("engine: job %d (%s): %s: %w",
+			idx, job.Name, job.Filler.Name(), err)
+		return res
+	}
+	if e.Verify && !set.Covers(filled) {
+		res.Err = fmt.Errorf("engine: job %d (%s): %s output is not a completion of its input",
+			idx, job.Name, job.Filler.Name())
+		return res
+	}
+	res.Filled = filled
+	res.Peak = filled.PeakToggles()
+	res.Total = filled.TotalToggles()
+	return res
+}
+
+// FirstErr returns the first job error in a batch result, or nil when
+// every job succeeded.
+func FirstErr(results []Result) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}

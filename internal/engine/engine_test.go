@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cube"
+	"repro/internal/fill"
+	"repro/internal/order"
+)
+
+func randomSet(r *rand.Rand, width, n int, xProb float64) *cube.Set {
+	s := cube.NewSet(width)
+	for v := 0; v < n; v++ {
+		c := make(cube.Cube, width)
+		for i := range c {
+			switch {
+			case r.Float64() < xProb:
+				c[i] = cube.X
+			case r.Intn(2) == 0:
+				c[i] = cube.Zero
+			default:
+				c[i] = cube.One
+			}
+		}
+		s.Append(c)
+	}
+	return s
+}
+
+func dpJobs(t *testing.T, n int) []Job {
+	t.Helper()
+	r := rand.New(rand.NewSource(17))
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{
+			Name:   fmt.Sprintf("job%d", i),
+			Set:    randomSet(r, 16+r.Intn(32), 8+r.Intn(24), 0.6),
+			Filler: fill.DP(),
+		}
+	}
+	return jobs
+}
+
+// serialReference runs the jobs one by one on the calling goroutine.
+func serialReference(t *testing.T, jobs []Job) []Result {
+	t.Helper()
+	e := New(1)
+	return e.Run(context.Background(), jobs)
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	for _, workers := range []int{0, 1, 8} {
+		res := New(workers).Run(context.Background(), nil)
+		if len(res) != 0 {
+			t.Fatalf("workers=%d: %d results for zero jobs", workers, len(res))
+		}
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	jobs := dpJobs(t, 11)
+	want := serialReference(t, jobs)
+	// One worker, workers == jobs, workers > jobs, machine default.
+	for _, workers := range []int{1, 11, 64, 0} {
+		got := New(workers).Run(context.Background(), jobs)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Err != nil {
+				t.Fatalf("workers=%d job %d: %v", workers, i, got[i].Err)
+			}
+			if got[i].Job != i || got[i].Name != jobs[i].Name {
+				t.Fatalf("workers=%d: result %d out of order: %+v", workers, i, got[i])
+			}
+			if !got[i].Filled.Equal(want[i].Filled) {
+				t.Fatalf("workers=%d job %d: filled set differs from serial run", workers, i)
+			}
+			if got[i].Peak != want[i].Peak || got[i].Total != want[i].Total {
+				t.Fatalf("workers=%d job %d: peak/total differ", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunJobErrorIsolated(t *testing.T) {
+	jobs := dpJobs(t, 6)
+	boom := errors.New("boom")
+	jobs[2].Filler = fill.Func{FillName: "bad-fill", F: func(*cube.Set) (*cube.Set, error) {
+		return nil, boom
+	}}
+	res := New(4).Run(context.Background(), jobs)
+	for i, r := range res {
+		if i == 2 {
+			if !errors.Is(r.Err, boom) {
+				t.Fatalf("job 2 error = %v, want wrapped boom", r.Err)
+			}
+			if r.Filled != nil {
+				t.Fatal("failed job carries a filled set")
+			}
+			if !strings.Contains(r.Err.Error(), "bad-fill") {
+				t.Fatalf("error %v does not name the filler", r.Err)
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Fatalf("job %d failed alongside job 2: %v", i, r.Err)
+		}
+		if r.Filled == nil || !r.Filled.FullySpecified() {
+			t.Fatalf("job %d did not complete", i)
+		}
+	}
+	if FirstErr(res) == nil {
+		t.Fatal("FirstErr missed the failure")
+	}
+	if FirstErr(res[:2]) != nil {
+		t.Fatal("FirstErr reported a failure for clean jobs")
+	}
+}
+
+func TestRunPanicIsolated(t *testing.T) {
+	jobs := dpJobs(t, 4)
+	jobs[1].Filler = fill.Func{FillName: "panicky", F: func(*cube.Set) (*cube.Set, error) {
+		panic("kaboom")
+	}}
+	res := New(2).Run(context.Background(), jobs)
+	if res[1].Err == nil || !strings.Contains(res[1].Err.Error(), "kaboom") {
+		t.Fatalf("panic not captured: %v", res[1].Err)
+	}
+	for _, i := range []int{0, 2, 3} {
+		if res[i].Err != nil {
+			t.Fatalf("job %d failed alongside the panic: %v", i, res[i].Err)
+		}
+	}
+}
+
+func TestRunInvalidJobs(t *testing.T) {
+	jobs := []Job{
+		{Name: "no-set", Filler: fill.DP()},
+		{Name: "no-filler", Set: cube.MustParseSet("0X", "X1")},
+	}
+	res := New(2).Run(context.Background(), jobs)
+	for i, r := range res {
+		if r.Err == nil {
+			t.Fatalf("invalid job %d accepted", i)
+		}
+	}
+}
+
+func TestRunWithOrderer(t *testing.T) {
+	jobs := dpJobs(t, 3)
+	for i := range jobs {
+		jobs[i].Orderer = order.Interleaved()
+	}
+	res := New(0).Run(context.Background(), jobs)
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if len(r.Perm) != jobs[i].Set.Len() {
+			t.Fatalf("job %d: perm length %d, want %d", i, len(r.Perm), jobs[i].Set.Len())
+		}
+		// The filled set must complete the reordered input.
+		if !jobs[i].Set.Reorder(r.Perm).Covers(r.Filled) {
+			t.Fatalf("job %d: output does not cover reordered input", i)
+		}
+	}
+}
+
+func TestRunVerifyCatchesBadFiller(t *testing.T) {
+	s := cube.MustParseSet("0X", "X1")
+	bad := fill.Func{FillName: "liar", F: func(in *cube.Set) (*cube.Set, error) {
+		// Flips a care bit: not a completion.
+		out := in.Clone()
+		out.Cubes[0][0] = cube.One
+		out.Cubes[0][1] = cube.Zero
+		out.Cubes[1][0] = cube.Zero
+		out.Cubes[1][1] = cube.Zero
+		return out, nil
+	}}
+	e := &Engine{Workers: 1, Verify: true}
+	res := e.Run(context.Background(), []Job{{Set: s, Filler: bad}})
+	if res[0].Err == nil {
+		t.Fatal("verify accepted a non-completion")
+	}
+	e.Verify = false
+	res = e.Run(context.Background(), []Job{{Set: s, Filler: bad}})
+	if res[0].Err != nil {
+		t.Fatalf("unverified run rejected the job: %v", res[0].Err)
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := dpJobs(t, 5)
+	res := New(2).Run(ctx, jobs)
+	for i, r := range res {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("job %d: err = %v, want context.Canceled", i, r.Err)
+		}
+	}
+}
+
+func TestRunRecordsDurations(t *testing.T) {
+	jobs := dpJobs(t, 3)
+	res := New(3).Run(context.Background(), jobs)
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if r.Duration <= 0 {
+			t.Fatalf("job %d: non-positive duration %v", i, r.Duration)
+		}
+	}
+}

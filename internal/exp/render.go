@@ -57,6 +57,30 @@ func RenderPeakTable(w io.Writer, ordering string, rows []PeakRow) error {
 	return tw.Flush()
 }
 
+// RenderPeakTimings writes the per-job wall-clock timings the batch
+// engine recorded while producing a peak table: one millisecond cell
+// per circuit × fill, plus the row total. Rows without timing data
+// (not produced by PeakTable) render as dashes.
+func RenderPeakTimings(w io.Writer, ordering string, rows []PeakRow) error {
+	tw := newTabWriter(w)
+	fmt.Fprintf(tw, "Ckt\t%s\ttotal (fill ms, %s ordering)\n", strings.Join(FillNames, "\t"), ordering)
+	for _, r := range rows {
+		cells := make([]string, len(FillNames))
+		var total float64
+		for i := range FillNames {
+			if i >= len(r.Durations) {
+				cells[i] = "-"
+				continue
+			}
+			ms := float64(r.Durations[i].Microseconds()) / 1000
+			total += ms
+			cells[i] = fmt.Sprintf("%.2f", ms)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\n", r.Ckt, strings.Join(cells, "\t"), total)
+	}
+	return tw.Flush()
+}
+
 // RenderCompareTable writes a Table V/VI reproduction next to the
 // published numbers. metric formats a value (e.g. "%d" peaks vs "%.1f"
 // µW); paper is PaperTableV or PaperTableVI (may be nil).

@@ -1,9 +1,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
+	"sync"
+	"time"
 
 	"repro/internal/cube"
+	"repro/internal/engine"
 	"repro/internal/fill"
 	"repro/internal/order"
 	"repro/internal/power"
@@ -51,6 +55,9 @@ type PeakRow struct {
 	Ckt string
 	// Peaks is indexed like FillNames.
 	Peaks []int
+	// Durations is the engine-reported wall-clock time of each fill job,
+	// indexed like FillNames.
+	Durations []time.Duration
 }
 
 // Best returns the minimum peak and its column index.
@@ -65,25 +72,73 @@ func (r PeakRow) Best() (int, int) {
 }
 
 // PeakTable computes one of Tables II–IV: reorder every circuit's cubes
-// with the orderer, apply each fill, measure peak input toggles.
+// with the orderer, then run the fillers × circuits grid through the
+// batch engine (Config.Parallelism workers), recording per-job wall
+// time. Results are identical to a serial evaluation; only the
+// schedule differs.
 func (s *Suite) PeakTable(ord order.Orderer) ([]PeakRow, error) {
-	fillers := fill.All(s.Config.Seed)
-	var out []PeakRow
-	for _, d := range s.Data {
-		perm, err := ord.Order(d.Cubes)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %s ordering: %w", d.Name, ord.Name(), err)
-		}
-		reordered := d.Cubes.Reorder(perm)
-		row := PeakRow{Ckt: d.Name, Peaks: make([]int, len(fillers))}
-		for i, fl := range fillers {
-			filled, err := fl.Fill(reordered)
+	// DP-fill pinned to one shard: the engine already saturates the CPU
+	// across jobs, so per-fill sharding would only oversubscribe it.
+	fillers := fill.AllSerial(s.Config.Seed)
+	n := len(s.Data)
+
+	// Phase 1: each circuit is ordered exactly once, concurrently
+	// (orderings like I-Order dominate cost; running them per fill job
+	// would repeat the work len(fillers) times).
+	reordered := make([]*cube.Set, n)
+	errs := make([]error, n)
+	sem := make(chan struct{}, s.Config.withDefaults().Parallelism)
+	var wg sync.WaitGroup
+	for i, d := range s.Data {
+		wg.Add(1)
+		go func(i int, d *CircuitData) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			perm, err := ord.Order(d.Cubes)
 			if err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", d.Name, fl.Name(), err)
+				errs[i] = fmt.Errorf("%s: %s ordering: %w", d.Name, ord.Name(), err)
+				return
 			}
-			row.Peaks[i] = filled.PeakToggles()
+			reordered[i] = d.Cubes.Reorder(perm)
+		}(i, d)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
-		out = append(out, row)
+	}
+
+	// Phase 2: the fillers × circuits grid as one engine batch.
+	jobs := make([]engine.Job, 0, n*len(fillers))
+	for i, d := range s.Data {
+		for _, fl := range fillers {
+			jobs = append(jobs, engine.Job{
+				Name:   d.Name + "/" + fl.Name(),
+				Set:    reordered[i],
+				Filler: fl,
+			})
+		}
+	}
+	results := engine.New(s.Config.withDefaults().Parallelism).Run(context.Background(), jobs)
+
+	out := make([]PeakRow, n)
+	for i, d := range s.Data {
+		row := PeakRow{
+			Ckt:       d.Name,
+			Peaks:     make([]int, len(fillers)),
+			Durations: make([]time.Duration, len(fillers)),
+		}
+		for f := range fillers {
+			r := results[i*len(fillers)+f]
+			if r.Err != nil {
+				return nil, r.Err
+			}
+			row.Peaks[f] = r.Peak
+			row.Durations[f] = r.Duration
+		}
+		out[i] = row
 	}
 	return out, nil
 }

@@ -7,10 +7,20 @@ import (
 
 // DP returns the paper's DP-fill as a Filler, so it can be slotted into
 // the same table harness as the heuristics. The heavy lifting lives in
-// package core.
+// package core; the fill's internal stretch scan shards itself across
+// the machine (see DPWith to pin the schedule).
 func DP() Filler {
+	return DPWith(core.Options{})
+}
+
+// DPWith is DP with explicit core execution options. Callers that
+// already parallelize across many fills — the batch engine's grids —
+// should pin Shards to 1 so the per-fill fan-out does not multiply
+// against the worker pool and oversubscribe the CPU; output is
+// byte-identical either way.
+func DPWith(opt core.Options) Filler {
 	return Func{FillName: "DP-fill", F: func(s *cube.Set) (*cube.Set, error) {
-		filled, _, err := core.Fill(s)
+		filled, _, err := core.FillWith(s, opt)
 		return filled, err
 	}}
 }
@@ -19,4 +29,10 @@ func DP() Filler {
 // MT-fill, R-fill, 0-fill, 1-fill, B-fill, DP-fill.
 func All(seed int64) []Filler {
 	return append(Baselines(seed), DP())
+}
+
+// AllSerial is All with DP-fill pinned to a single shard, for callers
+// that run the fillers concurrently themselves.
+func AllSerial(seed int64) []Filler {
+	return append(Baselines(seed), DPWith(core.Options{Shards: 1}))
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/cube"
+	"repro/internal/engine"
 	"repro/internal/fill"
 	"repro/internal/netgen"
 	"repro/internal/order"
@@ -61,6 +62,18 @@ type (
 	PowerModel = power.Model
 	// ScanPlan describes scan chains and the at-speed scheme.
 	ScanPlan = scan.Plan
+	// FillOptions tunes how DPFill executes (row-shard count); every
+	// setting produces byte-identical output.
+	FillOptions = core.Options
+	// BatchEngine runs batches of ordering+fill jobs over a bounded
+	// worker pool.
+	BatchEngine = engine.Engine
+	// BatchJob is one unit of batch work: a cube set plus the
+	// algorithms to run on it.
+	BatchJob = engine.Job
+	// BatchResult is the outcome of one batch job (filled set, peak,
+	// timing, error).
+	BatchResult = engine.Result
 )
 
 // Trit values.
@@ -78,10 +91,26 @@ func ParseCubes(cubes ...string) (*CubeSet, error) { return cube.ParseSet(cubes.
 // peak toggle count for that ordering.
 func DPFill(s *CubeSet) (*CubeSet, *FillResult, error) { return core.Fill(s) }
 
+// DPFillWith is DPFill with explicit execution options (e.g. a pinned
+// row-shard count for the parallel stretch scan).
+func DPFillWith(s *CubeSet, opt FillOptions) (*CubeSet, *FillResult, error) {
+	return core.FillWith(s, opt)
+}
+
 // OptimalPeak returns the minimum achievable peak toggle count of the
 // ordering without materializing the filled set (the Algorithm 1 lower
 // bound, which Algorithm 2 always attains).
 func OptimalPeak(s *CubeSet) (int, error) { return core.Bottleneck(s) }
+
+// NewEngine returns a concurrent batch fill engine with the given
+// worker bound (<= 0 sizes the pool to the machine). Submit jobs with
+// BatchEngine.Run; results come back in submission order with per-job
+// timings, and a failing job never takes down its batch.
+func NewEngine(workers int) *BatchEngine { return engine.New(workers) }
+
+// BatchErr returns the first job error in a batch result, or nil when
+// every job succeeded.
+func BatchErr(results []BatchResult) error { return engine.FirstErr(results) }
 
 // Fills returns the named X-filling algorithms of the paper's tables:
 // "MT-fill", "R-fill", "0-fill", "1-fill", "B-fill", "DP-fill" via
