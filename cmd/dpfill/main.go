@@ -29,7 +29,6 @@ import (
 	"strings"
 	"text/tabwriter"
 
-	"repro/internal/core"
 	"repro/internal/cube"
 	"repro/internal/engine"
 	"repro/internal/fill"
@@ -118,11 +117,11 @@ func run(args []string, stdout io.Writer) error {
 		return runGrid(stdout, set, *seed)
 	}
 
-	ord, err := ordererByName(*ordName, *seed)
+	ord, err := order.ByName(*ordName, *seed)
 	if err != nil {
 		return err
 	}
-	fl, err := fillerByName(*fillName, *seed)
+	fl, err := fill.ByName(*fillName, *seed)
 	if err != nil {
 		return err
 	}
@@ -169,28 +168,19 @@ func readCubeFile(path string) (*cube.Set, error) {
 	return readCubes(f, path)
 }
 
-// batchFillerByName resolves a filler for batch mode. DP-fill is pinned
-// to a single shard: the engine's worker pool already saturates the
-// CPU, so the fill's internal fan-out would only oversubscribe it.
-func batchFillerByName(name string, seed int64) (fill.Filler, error) {
-	switch strings.ToLower(name) {
-	case "dp", "dpfill", "dp-fill":
-		return fill.DPWith(core.Options{Shards: 1}), nil
-	}
-	return fillerByName(name, seed)
-}
-
 // runBatch fills every input file through the concurrent engine with
 // one shared ordering + fill pipeline and prints a per-job report.
 // Failing jobs — unreadable inputs included — are reported inline
 // without aborting the rest; the first failure is returned after every
 // job has run.
 func runBatch(stdout io.Writer, inputs []string, ordName, fillName string, seed int64, workers int, outdir string) error {
-	ord, err := ordererByName(ordName, seed)
+	ord, err := order.ByName(ordName, seed)
 	if err != nil {
 		return err
 	}
-	fl, err := batchFillerByName(fillName, seed)
+	// DP-fill pinned to one shard: the engine's worker pool already
+	// saturates the CPU.
+	fl, err := fill.ByNameSerial(fillName, seed)
 	if err != nil {
 		return err
 	}
@@ -307,42 +297,4 @@ func runGrid(stdout io.Writer, set *cube.Set, seed int64) error {
 		fmt.Fprintf(tw, "%s\t%s\n", ord.Name(), strings.Join(cells, "\t"))
 	}
 	return tw.Flush()
-}
-
-func ordererByName(name string, seed int64) (order.Orderer, error) {
-	switch strings.ToLower(name) {
-	case "tool":
-		return order.Tool(), nil
-	case "xstat", "x-stat":
-		return order.XStat(), nil
-	case "i", "iorder", "i-order":
-		return order.Interleaved(), nil
-	case "isa":
-		return order.ISA(seed), nil
-	default:
-		return nil, fmt.Errorf("unknown ordering %q", name)
-	}
-}
-
-func fillerByName(name string, seed int64) (fill.Filler, error) {
-	switch strings.ToLower(name) {
-	case "mt":
-		return fill.MT(), nil
-	case "r", "random":
-		return fill.Random(seed), nil
-	case "0", "zero":
-		return fill.Zero(), nil
-	case "1", "one":
-		return fill.One(), nil
-	case "b", "backward":
-		return fill.Backward(), nil
-	case "adj":
-		return fill.Adj(), nil
-	case "xstat", "x-stat":
-		return fill.XStat(), nil
-	case "dp", "dpfill", "dp-fill":
-		return fill.DP(), nil
-	default:
-		return nil, fmt.Errorf("unknown fill %q", name)
-	}
 }

@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"repro/internal/cube"
+	"repro/internal/fill"
+	"repro/internal/order"
 )
 
 func writeCubes(t *testing.T, dir string, cubes ...string) string {
@@ -174,12 +176,12 @@ func TestRunErrors(t *testing.T) {
 
 func TestOrdererAndFillerNames(t *testing.T) {
 	for _, name := range []string{"tool", "xstat", "i", "isa"} {
-		if _, err := ordererByName(name, 1); err != nil {
+		if _, err := order.ByName(name, 1); err != nil {
 			t.Errorf("ordering %q: %v", name, err)
 		}
 	}
 	for _, name := range []string{"mt", "r", "0", "1", "b", "adj", "xstat", "dp"} {
-		if _, err := fillerByName(name, 1); err != nil {
+		if _, err := fill.ByName(name, 1); err != nil {
 			t.Errorf("fill %q: %v", name, err)
 		}
 	}

@@ -1,0 +1,80 @@
+// Command dpfilld serves DP-fill over HTTP: a long-running daemon that
+// accepts fill requests (inline cube matrices or STIL pattern text),
+// routes them through the shared concurrent batch engine, caches
+// repeated pattern sets, and reports serving statistics.
+//
+// Usage:
+//
+//	dpfilld -addr :8080 -workers 8 -cache 512
+//
+// Endpoints (see internal/server for the request/response schema):
+//
+//	POST /v1/fill   one cube set -> filled set + toggle statistics
+//	POST /v1/batch  many jobs, one engine batch, per-job isolation
+//	POST /v1/grid   every Table II-IV filler on one set
+//	GET  /healthz   liveness
+//	GET  /stats     jobs served, cache hit rate, p50/p99 latency
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, letting in-flight
+// requests finish.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dpfilld:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("dpfilld", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "engine worker bound (0 = GOMAXPROCS)")
+	cacheSize := fs.Int("cache", 256, "result cache entries (negative disables)")
+	maxRows := fs.Int("max-rows", 4096, "largest accepted cube count per set")
+	maxCols := fs.Int("max-cols", 65536, "largest accepted cube width")
+	maxBody := fs.Int64("max-body", 8<<20, "largest accepted request body in bytes")
+	timeout := fs.Duration("timeout", 30*time.Second, "default per-job deadline")
+	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "ceiling for requested deadlines")
+	grace := fs.Duration("grace", 5*time.Second, "graceful shutdown window")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		CacheSize:      *cacheSize,
+		MaxRows:        *maxRows,
+		MaxCols:        *maxCols,
+		MaxBodyBytes:   *maxBody,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		ShutdownGrace:  *grace,
+	})
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "dpfilld listening on %s (workers=%d cache=%d)\n",
+		l.Addr(), *workers, *cacheSize)
+	err = srv.Serve(ctx, l)
+	if err == nil {
+		fmt.Fprintln(stdout, "dpfilld: shut down cleanly")
+	}
+	return err
+}

@@ -1,9 +1,13 @@
 package repro_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/httptest"
 
 	"repro"
 )
@@ -85,4 +89,35 @@ func ExampleNewEngine() {
 	// Output:
 	// a: peak 1
 	// b: peak 2
+}
+
+// The HTTP fill service answers cube sets over POST /v1/fill; repeated
+// pattern sets hit its LRU cache. In production the server runs via
+// ListenAndServe with graceful shutdown (see cmd/dpfilld); here its
+// handler is mounted on a test server.
+func ExampleNewServer() {
+	srv := repro.NewServer(repro.ServerConfig{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(map[string]any{
+		"name":  "demo",
+		"cubes": []string{"00", "XX", "XX", "11"},
+	})
+	resp, err := http.Post(ts.URL+"/v1/fill", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Filler string   `json:"filler"`
+		Peak   int      `json:"peak"`
+		Cubes  []string `json:"cubes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s peak %d: %v\n", out.Filler, out.Peak, out.Cubes)
+	// Output:
+	// DP-fill peak 1: [00 10 11 11]
 }

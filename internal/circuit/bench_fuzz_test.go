@@ -1,0 +1,62 @@
+package circuit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseBench drives ParseBench with arbitrary netlist text. The
+// parser must never panic; on success the circuit must be well-formed
+// and round-trip through WriteBench/ParseBench with the same shape.
+func FuzzParseBench(f *testing.F) {
+	f.Add("INPUT(G0)\nINPUT(G1)\nOUTPUT(G17)\nG10 = NAND(G0, G1)\nG17 = DFF(G10)\n")
+	f.Add("# comment\nINPUT(a)\nOUTPUT(b)\nb = NOT(a)\n")
+	f.Add("INPUT(a)\nb = BUFF(a)\nc = XNOR(a, b)\nOUTPUT(c)\n")
+	f.Add("INPUT(a)\nz = CONST0()\nt = TIE1()\no = OR(z, t, a)\nOUTPUT(o)\n")
+	f.Add("b = AND(a, a)\nINPUT(a)\nOUTPUT(b)\n") // forward reference
+	f.Add("INPUT(a)\na = NOT(a)\n")               // redefinition
+	f.Add("x = LOOP(x)\n")
+	f.Add("x = AND()\n")
+	f.Add("x = \n")
+	f.Add("x AND(a)\n")
+	f.Add("INPUT()\n")
+	f.Add("OUTPUT(nowhere)\n")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		c, err := ParseBench(strings.NewReader(input))
+		if err != nil {
+			if c != nil {
+				t.Fatal("non-nil circuit alongside an error")
+			}
+			return
+		}
+		if c == nil {
+			t.Fatal("nil circuit without an error")
+		}
+		// Well-formed: every fanin edge points at a real gate.
+		for i := range c.Gates {
+			for _, fi := range c.Gates[i].Fanin {
+				if fi < 0 || fi >= len(c.Gates) {
+					t.Fatalf("gate %d has out-of-range fanin %d", i, fi)
+				}
+			}
+		}
+		// Round-trip: the emitted netlist must parse to the same shape.
+		var buf bytes.Buffer
+		if err := WriteBench(&buf, c); err != nil {
+			t.Fatalf("writing parsed circuit: %v", err)
+		}
+		again, err := ParseBench(&buf)
+		if err != nil {
+			t.Fatalf("reparsing emitted bench: %v", err)
+		}
+		if len(again.Gates) != len(c.Gates) || len(again.PIs) != len(c.PIs) ||
+			len(again.POs) != len(c.POs) || len(again.DFFs) != len(c.DFFs) {
+			t.Fatalf("bench round-trip changed the shape: %d/%d/%d/%d gates/PIs/POs/DFFs, was %d/%d/%d/%d",
+				len(again.Gates), len(again.PIs), len(again.POs), len(again.DFFs),
+				len(c.Gates), len(c.PIs), len(c.POs), len(c.DFFs))
+		}
+	})
+}

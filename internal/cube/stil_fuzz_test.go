@@ -1,0 +1,61 @@
+package cube
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseSTIL drives ReadSTIL with arbitrary input. The parser must
+// never panic; on success the set must be well-formed and round-trip
+// through WriteSTIL/ReadSTIL unchanged.
+func FuzzParseSTIL(f *testing.F) {
+	// Seed corpus: the emitted shape, its variations, and malformed
+	// neighbours of each.
+	var golden bytes.Buffer
+	if err := WriteSTIL(&golden, MustParseSet("01XX0", "1XX01", "XXXXX"), "seed"); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(golden.String())
+	f.Add("STIL 1.0;\nPattern p {\n  V0: V { all = 01N0; }\n}\n")
+	f.Add("STIL 1.0;\nPattern p {\n  V0: V { all = X1; }\n  V1: V { all = 0N; }\n}\n")
+	f.Add("Pattern p {\n}\n")
+	f.Add("Pattern p {\n  V0: V { all = 01; }\n  V1: V { all = 011; }\n}\n")
+	f.Add("Pattern p {\n  V0: V { all = 2Z; }\n}\n")
+	f.Add("Pattern p {\n  V0: V { all = ; }\n}\n")
+	f.Add("Pattern p {\n  junk\n}\n")
+	f.Add("no pattern block at all")
+	f.Add("")
+	f.Add("Pattern p {\n  V0: V { all = 01;")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		set, err := ReadSTIL(strings.NewReader(input))
+		if err != nil {
+			if set != nil {
+				t.Fatal("non-nil set alongside an error")
+			}
+			return
+		}
+		if set == nil {
+			t.Fatal("nil set without an error")
+		}
+		// Well-formed: every cube matches the set width.
+		for i, c := range set.Cubes {
+			if len(c) != set.Width {
+				t.Fatalf("cube %d has width %d, set claims %d", i, len(c), set.Width)
+			}
+		}
+		// Round-trip: what we write back must parse to an equal set.
+		var buf bytes.Buffer
+		if err := WriteSTIL(&buf, set, "fuzz"); err != nil {
+			t.Fatalf("writing parsed set: %v", err)
+		}
+		again, err := ReadSTIL(&buf)
+		if err != nil {
+			t.Fatalf("reparsing emitted STIL: %v", err)
+		}
+		if !set.Equal(again) {
+			t.Fatal("STIL round-trip changed the set")
+		}
+	})
+}

@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +41,20 @@ type Job struct {
 	Orderer order.Orderer
 	// Filler completes the (re)ordered set. Required.
 	Filler fill.Filler
+	// Priority biases dispatch order: higher-priority jobs start before
+	// lower-priority ones when workers are scarce. Equal priorities keep
+	// submission order. Results always come back in submission order
+	// regardless of priority.
+	Priority int
+	// Timeout, when positive, bounds this job's wall-clock time measured
+	// from Run's start, so it covers queue wait — both in-batch and the
+	// shared cross-batch semaphore — as well as execution: a saturated
+	// engine sheds overdue queued jobs instead of running them late.
+	// Cancellation of a running job is stage-granular — the deadline is
+	// checked between ordering and filling and again after filling — and
+	// an overrun reports context.DeadlineExceeded in its Result slot
+	// instead of a result the caller already gave up on.
+	Timeout time.Duration
 }
 
 // Result is the outcome of one job. Exactly one of Filled/Err is
@@ -65,13 +80,24 @@ type Result struct {
 
 // Engine runs batches of jobs over a bounded worker pool. The zero
 // value is valid and sizes the pool to the machine.
+//
+// The worker bound is shared across concurrent Run calls on the same
+// Engine: a service handling many requests through one Engine never
+// executes more than Workers jobs at once machine-wide, no matter how
+// many batches are in flight.
 type Engine struct {
-	// Workers bounds concurrent jobs; <= 0 means GOMAXPROCS.
+	// Workers bounds concurrent jobs; <= 0 means GOMAXPROCS. It is
+	// captured at the first Run call; later mutations have no effect.
 	Workers int
 	// Verify, when set, checks that every filled set is a legal
 	// completion of its input (cube.Set.Covers) and fails the job
 	// otherwise — a cheap production guard against a misbehaving Filler.
 	Verify bool
+
+	// sem is the shared execution semaphore, sized to Workers on first
+	// use so the bound holds across overlapping Run calls.
+	semOnce sync.Once
+	sem     chan struct{}
 }
 
 // New returns an engine with the given worker bound; <= 0 sizes the
@@ -98,16 +124,48 @@ func (e *Engine) workerCount(jobs int) int {
 	return w
 }
 
+// semaphore returns the shared execution semaphore, creating it on
+// first use with the Engine's worker bound.
+func (e *Engine) semaphore() chan struct{} {
+	e.semOnce.Do(func() {
+		w := e.Workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		e.sem = make(chan struct{}, w)
+	})
+	return e.sem
+}
+
+// dispatchOrder returns the job indices in execution order: descending
+// priority, submission order within a priority level.
+func dispatchOrder(jobs []Job) []int {
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return jobs[order[a]].Priority > jobs[order[b]].Priority
+	})
+	return order
+}
+
 // Run executes the batch and returns one Result per job, in submission
-// order. It blocks until every job has finished or the context is
-// cancelled; jobs not yet started when the context fires are marked
-// with ctx.Err() instead of running.
+// order. Jobs are dispatched by descending Priority (submission order
+// within a level). It blocks until every job has finished or the
+// context is cancelled; jobs not yet started when the context fires
+// are marked with ctx.Err() instead of running, and jobs in flight are
+// marked at their next stage boundary, so a cancelled batch still
+// returns the results of every job that completed before the cancel.
 func (e *Engine) Run(ctx context.Context, jobs []Job) []Result {
 	results := make([]Result, len(jobs))
 	if len(jobs) == 0 {
 		return results
 	}
+	exec := dispatchOrder(jobs)
 	workers := e.workerCount(len(jobs))
+	sem := e.semaphore()
+	runStart := time.Now()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -115,11 +173,33 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) []Result {
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(jobs) {
+				k := int(next.Add(1)) - 1
+				if k >= len(exec) {
 					return
 				}
-				results[i] = e.runJob(ctx, i, jobs[i])
+				i := exec[k]
+				// A job's deadline is anchored at Run's start, so queue
+				// wait counts against it and overdue jobs are shed
+				// without running.
+				jctx := ctx
+				var cancel context.CancelFunc
+				if jobs[i].Timeout > 0 {
+					jctx, cancel = context.WithDeadline(ctx, runStart.Add(jobs[i].Timeout))
+				}
+				// The shared semaphore enforces the machine-wide bound
+				// across overlapping Run calls; within one call the
+				// goroutine count already respects it, so this only
+				// blocks under cross-batch contention.
+				select {
+				case sem <- struct{}{}:
+					results[i] = e.runJob(jctx, i, jobs[i])
+					<-sem
+				case <-jctx.Done():
+					results[i] = Result{Job: i, Name: jobs[i].Name, Err: jctx.Err()}
+				}
+				if cancel != nil {
+					cancel()
+				}
 			}
 		}()
 	}
@@ -163,10 +243,23 @@ func (e *Engine) runJob(ctx context.Context, idx int, job Job) (res Result) {
 		res.Perm = perm
 		set = set.Reorder(perm)
 	}
+	// Cancellation is stage-granular: a deadline that fires mid-stage
+	// lets the stage finish, then stops the job here.
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
 	filled, err := job.Filler.Fill(set)
 	if err != nil {
 		res.Err = fmt.Errorf("engine: job %d (%s): %s: %w",
 			idx, job.Name, job.Filler.Name(), err)
+		return res
+	}
+	// A job that overran its deadline (or whose batch was cancelled)
+	// while filling reports that instead of a result the caller has
+	// already given up on.
+	if err := ctx.Err(); err != nil {
+		res.Err = err
 		return res
 	}
 	if e.Verify && !set.Covers(filled) {

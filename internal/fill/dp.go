@@ -31,6 +31,22 @@ func All(seed int64) []Filler {
 	return append(Baselines(seed), DP())
 }
 
+// ByNameSerial is ByName with DP-fill pinned to a single shard, for
+// front-ends whose batch engine already parallelizes across jobs (the
+// dpfill CLI's batch mode, the HTTP fill service): the per-fill
+// fan-out would only oversubscribe their worker pool. Output is
+// byte-identical to ByName's.
+func ByNameSerial(name string, seed int64) (Filler, error) {
+	fl, err := ByName(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	if fl.Name() == "DP-fill" {
+		return DPWith(core.Options{Shards: 1}), nil
+	}
+	return fl, nil
+}
+
 // AllSerial is All with DP-fill pinned to a single shard, for callers
 // that run the fillers concurrently themselves.
 func AllSerial(seed int64) []Filler {

@@ -13,6 +13,7 @@ package fill
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/internal/cube"
 )
@@ -324,4 +325,31 @@ func xstatPhase1(row []cube.Trit) {
 // order (MT, R, 0, 1, B). The random seed fixes R-fill.
 func Baselines(seed int64) []Filler {
 	return []Filler{MT(), Random(seed), Zero(), One(), Backward()}
+}
+
+// ByName resolves a filler from its CLI/API spelling (case-insensitive):
+// mt, r|random, 0|zero, 1|one, b|backward, adj, xstat|x-stat,
+// dp|dpfill|dp-fill. The seed fixes R-fill. Shared by cmd/dpfill and
+// the HTTP fill service, so the two front-ends accept the same names.
+func ByName(name string, seed int64) (Filler, error) {
+	switch strings.ToLower(name) {
+	case "mt", "mt-fill":
+		return MT(), nil
+	case "r", "random", "r-fill":
+		return Random(seed), nil
+	case "0", "zero", "0-fill":
+		return Zero(), nil
+	case "1", "one", "1-fill":
+		return One(), nil
+	case "b", "backward", "b-fill":
+		return Backward(), nil
+	case "adj", "adj-fill":
+		return Adj(), nil
+	case "xstat", "x-stat":
+		return XStat(), nil
+	case "dp", "dpfill", "dp-fill":
+		return DP(), nil
+	default:
+		return nil, fmt.Errorf("fill: unknown fill %q", name)
+	}
 }

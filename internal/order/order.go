@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/cube"
@@ -353,6 +354,25 @@ func interleave(tp []int, k int) []int {
 // X-Stat, I-Order.
 func All() []Orderer {
 	return []Orderer{Tool(), XStat(), Interleaved()}
+}
+
+// ByName resolves an orderer from its CLI/API spelling
+// (case-insensitive): tool, xstat|x-stat, i|iorder|i-order, isa. The
+// seed fixes the ISA annealing schedule. Shared by cmd/dpfill and the
+// HTTP fill service, so the two front-ends accept the same names.
+func ByName(name string, seed int64) (Orderer, error) {
+	switch strings.ToLower(name) {
+	case "tool":
+		return Tool(), nil
+	case "xstat", "x-stat":
+		return XStat(), nil
+	case "i", "iorder", "i-order":
+		return Interleaved(), nil
+	case "isa":
+		return ISA(seed), nil
+	default:
+		return nil, fmt.Errorf("order: unknown ordering %q", name)
+	}
 }
 
 // InterleaveK exposes the Algorithm 3 interleaving step for a given k

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cube"
+)
+
+// FillRequest is the POST /v1/fill payload: one cube set (inline
+// matrix or STIL text) plus the algorithm pair to run on it. Exactly
+// one of Cubes and STIL must be set.
+type FillRequest struct {
+	// Name labels the job in responses and logs. Optional.
+	Name string `json:"name,omitempty"`
+	// Cubes is the inline cube matrix: one string of 0/1/X per vector,
+	// all of equal width.
+	Cubes []string `json:"cubes,omitempty"`
+	// STIL is a STIL pattern block as emitted by cube.WriteSTIL, the
+	// exchange format commercial ATPG flows speak.
+	STIL string `json:"stil,omitempty"`
+	// Orderer names the reordering applied before filling: tool
+	// (default), xstat, i, isa.
+	Orderer string `json:"orderer,omitempty"`
+	// Filler names the X-fill: dp (default), mt, r, 0, 1, b, adj, xstat.
+	Filler string `json:"filler,omitempty"`
+	// Seed fixes the randomized algorithms (R-fill, ISA). Default 1.
+	Seed int64 `json:"seed,omitempty"`
+	// Priority biases dispatch among the jobs of one /v1/batch request
+	// when workers are scarce; higher starts earlier. Single-job
+	// /v1/fill requests are unaffected (ordering across requests is up
+	// to the shared pool).
+	Priority int `json:"priority,omitempty"`
+	// TimeoutMillis bounds the job's wall-clock time. 0 means the
+	// server default; values above the server maximum are clamped.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// OmitCubes drops the filled matrix from the response, for callers
+	// that only want the statistics on large sets.
+	OmitCubes bool `json:"omit_cubes,omitempty"`
+}
+
+// FillResponse is the POST /v1/fill result payload.
+type FillResponse struct {
+	Name string `json:"name,omitempty"`
+	// Rows and Width are the input shape; XPercent its average
+	// don't-care density.
+	Rows     int     `json:"rows"`
+	Width    int     `json:"width"`
+	XPercent float64 `json:"x_percent"`
+	// Orderer and Filler echo the resolved algorithm names.
+	Orderer string `json:"orderer"`
+	Filler  string `json:"filler"`
+	// Perm is the applied ordering permutation.
+	Perm []int `json:"perm,omitempty"`
+	// Cubes is the fully specified output in the applied order (absent
+	// with omit_cubes).
+	Cubes []string `json:"cubes,omitempty"`
+	// Peak and Total are the toggle statistics of the filled set;
+	// Profile is the per-cycle toggle count.
+	Peak    int   `json:"peak"`
+	Total   int   `json:"total"`
+	Profile []int `json:"profile,omitempty"`
+	// DurationMillis is the job's wall-clock time inside the server
+	// (near zero on cache hits).
+	DurationMillis float64 `json:"duration_ms"`
+	// Cached reports whether the result came from the LRU cache.
+	Cached bool `json:"cached"`
+}
+
+// BatchRequest is the POST /v1/batch payload: many fill jobs run as
+// one engine batch with per-job failure isolation.
+type BatchRequest struct {
+	Jobs []FillRequest `json:"jobs"`
+}
+
+// BatchItem is one slot of a batch response: exactly one of Result and
+// Error is set.
+type BatchItem struct {
+	Result *FillResponse `json:"result,omitempty"`
+	Error  string        `json:"error,omitempty"`
+}
+
+// BatchResponse is the POST /v1/batch result payload. Results align
+// with the submitted jobs.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+	Failed  int         `json:"failed"`
+}
+
+// GridRequest is the POST /v1/grid payload: evaluate every Table II–IV
+// filler on one cube set under one ordering.
+type GridRequest struct {
+	Name    string   `json:"name,omitempty"`
+	Cubes   []string `json:"cubes,omitempty"`
+	STIL    string   `json:"stil,omitempty"`
+	Orderer string   `json:"orderer,omitempty"`
+	Seed    int64    `json:"seed,omitempty"`
+}
+
+// GridResponse is the POST /v1/grid result payload.
+type GridResponse struct {
+	Name    string `json:"name,omitempty"`
+	Orderer string `json:"orderer"`
+	// FillNames and Peaks/DurationsMillis are parallel, in the paper's
+	// Table II–IV column order.
+	FillNames       []string  `json:"fill_names"`
+	Peaks           []int     `json:"peaks"`
+	DurationsMillis []float64 `json:"durations_ms"`
+	// Best names the winning fill — earliest column on ties, so a
+	// baseline that matches DP-fill's (provably minimal) peak can win.
+	Best string `json:"best"`
+	// Table is the exp.RenderPeakTable text rendering of the same row.
+	Table string `json:"table"`
+}
+
+// errorResponse is the uniform error payload.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// badRequestError marks a client-side validation failure (HTTP 400).
+type badRequestError struct{ msg string }
+
+func (e badRequestError) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) error {
+	return badRequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// parseSet validates and parses a request's payload against the
+// configured shape limits. Exactly one of cubes/stil must be present.
+func (s *Server) parseSet(cubes []string, stil string) (*cube.Set, error) {
+	switch {
+	case len(cubes) > 0 && stil != "":
+		return nil, badRequestf("request carries both cubes and stil; send one")
+	case len(cubes) == 0 && stil == "":
+		return nil, badRequestf("request carries no patterns: set cubes or stil")
+	}
+	var set *cube.Set
+	if len(cubes) > 0 {
+		if len(cubes) > s.cfg.MaxRows {
+			return nil, badRequestf("%d cubes exceed the row limit %d", len(cubes), s.cfg.MaxRows)
+		}
+		parsed, err := cube.ParseSet(cubes...)
+		if err != nil {
+			return nil, badRequestf("parsing cubes: %v", err)
+		}
+		set = parsed
+	} else {
+		parsed, err := cube.ReadSTIL(strings.NewReader(stil))
+		if err != nil {
+			return nil, badRequestf("parsing stil: %v", err)
+		}
+		set = parsed
+	}
+	if set.Len() > s.cfg.MaxRows {
+		return nil, badRequestf("%d cubes exceed the row limit %d", set.Len(), s.cfg.MaxRows)
+	}
+	if set.Width > s.cfg.MaxCols {
+		return nil, badRequestf("cube width %d exceeds the column limit %d", set.Width, s.cfg.MaxCols)
+	}
+	return set, nil
+}
+
+// clampTimeout resolves a request's timeout_ms against the server's
+// default and ceiling.
+func (s *Server) clampTimeout(millis int64) time.Duration {
+	d := time.Duration(millis) * time.Millisecond
+	if d <= 0 {
+		d = s.cfg.DefaultTimeout
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// cubeStrings renders a set one string per cube, the inline JSON form.
+func cubeStrings(set *cube.Set) []string {
+	out := make([]string, set.Len())
+	for i, c := range set.Cubes {
+		out[i] = c.String()
+	}
+	return out
+}

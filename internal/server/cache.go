@@ -1,0 +1,111 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"repro/internal/cube"
+)
+
+// cachedFill is one memoized fill outcome. Entries are shared across
+// requests and must be treated as immutable: render handlers copy what
+// they serialize and never write through these pointers.
+type cachedFill struct {
+	Filled  *cube.Set
+	Perm    []int
+	Peak    int
+	Total   int
+	Profile []int
+}
+
+// fillDigest keys the cache on everything that determines a fill
+// outcome: the exact cube matrix, the algorithm pair, and the seed
+// (R-fill and ISA are seed-dependent). Two requests with the same
+// digest are guaranteed the same fully-specified output, so repeated
+// pattern sets skip recomputation entirely.
+func fillDigest(s *cube.Set, orderer, filler string, seed int64) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "w=%d|n=%d|ord=%s|fill=%s|seed=%d\n", s.Width, s.Len(), orderer, filler, seed)
+	for _, c := range s.Cubes {
+		h.Write([]byte(c.String()))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// lruCache is a fixed-capacity, mutex-guarded LRU over fill digests.
+// A nil *lruCache is valid and never hits, so disabling the cache is
+// just not constructing one.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *lruEntry
+	byKey map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val *cachedFill
+}
+
+// newLRUCache returns a cache holding up to capacity entries, or nil
+// (a never-hitting cache) when capacity <= 0.
+func newLRUCache(capacity int) *lruCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &lruCache{
+		cap:   capacity,
+		order: list.New(),
+		byKey: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the entry for key and marks it most recently used.
+func (c *lruCache) Get(key string) (*cachedFill, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put inserts or refreshes key, evicting the least recently used entry
+// when the cache is full.
+func (c *lruCache) Put(key string, v *cachedFill) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*lruEntry).val = v
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&lruEntry{key: key, val: v})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Len returns the current entry count.
+func (c *lruCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,513 @@
+// Package server exposes the DP-fill batch engine as a long-running
+// HTTP/JSON service. It is the serving front-end of the repository:
+// requests carry cube sets (inline matrices or STIL pattern text) plus
+// the ordering/filling algorithms to run, jobs route through one
+// shared engine worker pool bounded machine-wide, and repeated pattern
+// sets are answered from an LRU keyed by the request digest without
+// recomputation.
+//
+// Endpoints:
+//
+//	POST /v1/fill   one cube set -> filled set + toggle statistics
+//	POST /v1/batch  many jobs, one engine batch, per-job isolation
+//	POST /v1/grid   every Table II-IV filler on one set, rendered table
+//	GET  /healthz   liveness
+//	GET  /stats     jobs served, cache hit rate, p50/p99 latency
+//
+// Every request is validated against configurable shape and body-size
+// limits and runs under a per-request deadline derived from the
+// request context; Serve shuts down gracefully when its context is
+// cancelled.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/exp"
+	"repro/internal/fill"
+	"repro/internal/order"
+)
+
+// Config tunes a Server. The zero value is valid: every limit gets a
+// production-safe default.
+type Config struct {
+	// Engine, when non-nil, is the shared batch engine to run jobs on;
+	// nil constructs one sized by Workers. Passing an Engine lets a
+	// process share one machine-wide worker bound between the server
+	// and other batch work.
+	Engine *engine.Engine
+	// Workers sizes the constructed engine when Engine is nil; <= 0
+	// means GOMAXPROCS.
+	Workers int
+	// MaxRows and MaxCols bound accepted cube-set shapes (default
+	// 4096 rows x 65536 columns).
+	MaxRows, MaxCols int
+	// MaxBodyBytes bounds request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxBatchJobs bounds the jobs of one /v1/batch request (default
+	// 256).
+	MaxBatchJobs int
+	// DefaultTimeout is the per-job deadline when a request does not
+	// set timeout_ms (default 30s); MaxTimeout is the ceiling requests
+	// are clamped to (default 2m).
+	DefaultTimeout, MaxTimeout time.Duration
+	// CacheSize is the LRU entry bound keyed by (cube-set digest,
+	// filler, orderer, seed); 0 means the default 256, negative
+	// disables caching.
+	CacheSize int
+	// ShutdownGrace bounds how long Serve waits for in-flight requests
+	// after its context is cancelled (default 5s).
+	ShutdownGrace time.Duration
+}
+
+// withDefaults resolves every unset field.
+func (c Config) withDefaults() Config {
+	if c.MaxRows <= 0 {
+		c.MaxRows = 4096
+	}
+	if c.MaxCols <= 0 {
+		c.MaxCols = 65536
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxBatchJobs <= 0 {
+		c.MaxBatchJobs = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.ShutdownGrace <= 0 {
+		c.ShutdownGrace = 5 * time.Second
+	}
+	return c
+}
+
+// Server is the HTTP fill service. Construct with New; the zero value
+// is not usable.
+type Server struct {
+	cfg   Config
+	eng   *engine.Engine
+	cache *lruCache
+	met   *metrics
+	mux   *http.ServeMux
+}
+
+// New returns a Server ready to serve via Handler, Serve or
+// ListenAndServe.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	eng := cfg.Engine
+	if eng == nil {
+		eng = engine.New(cfg.Workers)
+	}
+	s := &Server{
+		cfg:   cfg,
+		eng:   eng,
+		cache: newLRUCache(cfg.CacheSize),
+		met:   newMetrics(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/fill", s.handleFill)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/grid", s.handleGrid)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the service's HTTP handler, for embedding under a
+// custom mux or an httptest server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats returns a snapshot of the serving statistics.
+func (s *Server) Stats() Stats { return s.met.snapshot(s.cache.Len()) }
+
+// Serve accepts connections on l until ctx is cancelled, then shuts
+// down gracefully: in-flight requests get ShutdownGrace to finish. It
+// returns nil after a clean shutdown.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+		defer cancel()
+		err := hs.Shutdown(sctx)
+		if serveErr := <-errc; !errors.Is(serveErr, http.ErrServerClosed) && err == nil {
+			err = serveErr
+		}
+		return err
+	}
+}
+
+// ListenAndServe binds addr and calls Serve.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, l)
+}
+
+// resolveFill validates a FillRequest and resolves its algorithms.
+// DP-fill is pinned to one shard: the engine pool is the concurrency
+// layer here, and per-fill fan-out would oversubscribe it.
+func (s *Server) resolveFill(req FillRequest) (engine.Job, FillResponse, string, error) {
+	var job engine.Job
+	var resp FillResponse
+	set, err := s.parseSet(req.Cubes, req.STIL)
+	if err != nil {
+		return job, resp, "", err
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	ordName := req.Orderer
+	if ordName == "" {
+		ordName = "tool"
+	}
+	ord, err := order.ByName(ordName, seed)
+	if err != nil {
+		return job, resp, "", badRequestf("%v", err)
+	}
+	fl, err := serverFiller(req.Filler, seed)
+	if err != nil {
+		return job, resp, "", badRequestf("%v", err)
+	}
+	job = engine.Job{
+		Name:     req.Name,
+		Set:      set,
+		Orderer:  ord,
+		Filler:   fl,
+		Priority: req.Priority,
+		Timeout:  s.clampTimeout(req.TimeoutMillis),
+	}
+	resp = FillResponse{
+		Name:     req.Name,
+		Rows:     set.Len(),
+		Width:    set.Width,
+		XPercent: set.XPercent(),
+		Orderer:  ord.Name(),
+		Filler:   fl.Name(),
+	}
+	digest := fillDigest(set, ord.Name(), fl.Name(), seed)
+	return job, resp, digest, nil
+}
+
+// serverFiller resolves a filler name with DP-fill pinned to a single
+// shard (see resolveFill). An empty name means DP-fill.
+func serverFiller(name string, seed int64) (fill.Filler, error) {
+	if name == "" {
+		name = "dp"
+	}
+	return fill.ByNameSerial(name, seed)
+}
+
+// finishFill completes a response from either a cache entry or an
+// engine result.
+func finishFill(resp *FillResponse, entry *cachedFill, omitCubes, cached bool, elapsed time.Duration) {
+	resp.Perm = entry.Perm
+	resp.Peak = entry.Peak
+	resp.Total = entry.Total
+	resp.Profile = entry.Profile
+	if !omitCubes {
+		resp.Cubes = cubeStrings(entry.Filled)
+	}
+	resp.Cached = cached
+	resp.DurationMillis = float64(elapsed.Microseconds()) / 1000
+}
+
+// runFill answers one fill job: cache lookup, then one engine job.
+func (s *Server) runFill(ctx context.Context, req FillRequest) (*FillResponse, error) {
+	start := time.Now()
+	job, resp, digest, err := s.resolveFill(req)
+	if err != nil {
+		return nil, err
+	}
+	if entry, ok := s.cache.Get(digest); ok {
+		finishFill(&resp, entry, req.OmitCubes, true, time.Since(start))
+		s.met.observeJob(time.Since(start), true)
+		return &resp, nil
+	}
+	r := s.eng.Run(ctx, []engine.Job{job})[0]
+	if r.Err != nil {
+		s.met.observeError()
+		return nil, r.Err
+	}
+	entry := &cachedFill{
+		Filled:  r.Filled,
+		Perm:    r.Perm,
+		Peak:    r.Peak,
+		Total:   r.Total,
+		Profile: r.Filled.ToggleProfile(),
+	}
+	s.cache.Put(digest, entry)
+	finishFill(&resp, entry, req.OmitCubes, false, time.Since(start))
+	// Metrics record the engine-reported execution time, keeping
+	// /v1/fill and /v1/batch miss samples comparable.
+	s.met.observeJob(r.Duration, false)
+	return &resp, nil
+}
+
+func (s *Server) handleFill(w http.ResponseWriter, r *http.Request) {
+	var req FillRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	resp, err := s.runFill(r.Context(), req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Jobs) == 0 {
+		s.writeError(w, badRequestf("batch carries no jobs"))
+		return
+	}
+	if len(req.Jobs) > s.cfg.MaxBatchJobs {
+		s.writeError(w, badRequestf("%d jobs exceed the batch limit %d", len(req.Jobs), s.cfg.MaxBatchJobs))
+		return
+	}
+	items := make([]BatchItem, len(req.Jobs))
+	resps := make([]FillResponse, len(req.Jobs))
+	starts := make([]time.Time, len(req.Jobs))
+	var jobs []engine.Job
+	var jobIdx []int                // jobs[k] answers items[jobIdx[k]]
+	var digests []string            // aligned with jobs
+	pending := make(map[string]int) // digest -> index into jobs
+	type dupRef struct{ item, job int }
+	var dups []dupRef
+	for i, jr := range req.Jobs {
+		starts[i] = time.Now()
+		job, resp, digest, err := s.resolveFill(jr)
+		if err != nil {
+			items[i] = BatchItem{Error: err.Error()}
+			s.met.observeError()
+			continue
+		}
+		resps[i] = resp
+		if entry, ok := s.cache.Get(digest); ok {
+			finishFill(&resps[i], entry, jr.OmitCubes, true, time.Since(starts[i]))
+			s.met.observeJob(time.Since(starts[i]), true)
+			items[i] = BatchItem{Result: &resps[i]}
+			continue
+		}
+		// Dedup key includes the clamped timeout: two identical jobs
+		// only share an outcome when they would also fail identically
+		// (a shorter-deadline twin may time out where the longer one
+		// succeeds).
+		pendingKey := fmt.Sprintf("%s|%d", digest, job.Timeout)
+		if k, ok := pending[pendingKey]; ok {
+			// An identical job earlier in this batch will compute the
+			// result; share it instead of recomputing.
+			dups = append(dups, dupRef{item: i, job: k})
+			continue
+		}
+		pending[pendingKey] = len(jobs)
+		jobs = append(jobs, job)
+		jobIdx = append(jobIdx, i)
+		digests = append(digests, digest)
+	}
+	results := s.eng.Run(r.Context(), jobs)
+	entries := make([]*cachedFill, len(jobs))
+	for k, res := range results {
+		i := jobIdx[k]
+		if res.Err != nil {
+			items[i] = BatchItem{Error: res.Err.Error()}
+			s.met.observeError()
+			continue
+		}
+		entry := &cachedFill{
+			Filled:  res.Filled,
+			Perm:    res.Perm,
+			Peak:    res.Peak,
+			Total:   res.Total,
+			Profile: res.Filled.ToggleProfile(),
+		}
+		entries[k] = entry
+		s.cache.Put(digests[k], entry)
+		finishFill(&resps[i], entry, req.Jobs[i].OmitCubes, false, res.Duration)
+		s.met.observeJob(res.Duration, false)
+		items[i] = BatchItem{Result: &resps[i]}
+	}
+	for _, d := range dups {
+		i := d.item
+		entry := entries[d.job]
+		if entry == nil {
+			items[i] = BatchItem{Error: results[d.job].Err.Error()}
+			s.met.observeError()
+			continue
+		}
+		// The duplicate's latency is its real wall-clock wait: resolve
+		// plus the engine run that produced the shared result.
+		finishFill(&resps[i], entry, req.Jobs[i].OmitCubes, true, time.Since(starts[i]))
+		s.met.observeJob(time.Since(starts[i]), true)
+		items[i] = BatchItem{Result: &resps[i]}
+	}
+	failed := 0
+	for _, it := range items {
+		if it.Error != "" {
+			failed++
+		}
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Results: items, Failed: failed})
+}
+
+func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
+	var req GridRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	set, err := s.parseSet(req.Cubes, req.STIL)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	ordName := req.Orderer
+	if ordName == "" {
+		ordName = "tool"
+	}
+	ord, err := order.ByName(ordName, seed)
+	if err != nil {
+		s.writeError(w, badRequestf("%v", err))
+		return
+	}
+	fillers := fill.AllSerial(seed)
+	jobs := make([]engine.Job, len(fillers))
+	for i, fl := range fillers {
+		jobs[i] = engine.Job{
+			Name:    fl.Name(),
+			Set:     set,
+			Orderer: ord,
+			Filler:  fl,
+			Timeout: s.cfg.MaxTimeout,
+		}
+	}
+	results := s.eng.Run(r.Context(), jobs)
+	if err := engine.FirstErr(results); err != nil {
+		s.met.observeError()
+		s.writeError(w, err)
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = "set"
+	}
+	row := exp.PeakRow{
+		Ckt:       name,
+		Peaks:     make([]int, len(results)),
+		Durations: make([]time.Duration, len(results)),
+	}
+	for i, res := range results {
+		row.Peaks[i] = res.Peak
+		row.Durations[i] = res.Duration
+		s.met.observeUncachedJob(res.Duration)
+	}
+	table, err := exp.TableText(func(w io.Writer) error {
+		return exp.RenderPeakTable(w, ord.Name(), []exp.PeakRow{row})
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	durs := make([]float64, len(results))
+	for i, res := range results {
+		durs[i] = float64(res.Duration.Microseconds()) / 1000
+	}
+	_, best := row.Best()
+	writeJSON(w, http.StatusOK, GridResponse{
+		Name:            name,
+		Orderer:         ord.Name(),
+		FillNames:       exp.FillNames,
+		Peaks:           row.Peaks,
+		DurationsMillis: durs,
+		Best:            exp.FillNames[best],
+		Table:           table,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// decode reads a size-limited, strict JSON body into v, answering the
+// error itself (and returning false) on failure.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed JSON: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// writeError maps an error to its HTTP status: validation failures are
+// 400, deadline overruns 504, client disconnects 499 (nginx's
+// convention), anything else 422 (the job itself failed).
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := http.StatusUnprocessableEntity
+	var bad badRequestError
+	switch {
+	case errors.As(err, &bad):
+		status = http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = 499
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow bounds the per-job latency reservoir: percentiles are
+// computed over the most recent window, so a long-running daemon's
+// /stats reflects current behaviour, not its whole history.
+const latencyWindow = 4096
+
+// Stats is the /stats response payload.
+type Stats struct {
+	// UptimeSeconds is the time since the server was constructed.
+	UptimeSeconds float64 `json:"uptime_s"`
+	// JobsServed counts fill jobs answered, cache hits included.
+	JobsServed uint64 `json:"jobs_served"`
+	// Errors counts jobs that ended in an error response.
+	Errors uint64 `json:"errors"`
+	// CacheHits/CacheMisses count digest lookups; CacheHitRate is
+	// hits/(hits+misses), 0 when nothing has been looked up.
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// CacheEntries is the current LRU entry count.
+	CacheEntries int `json:"cache_entries"`
+	// P50Millis/P99Millis are per-job latency percentiles over the
+	// most recent LatencySamples jobs.
+	P50Millis float64 `json:"p50_ms"`
+	P99Millis float64 `json:"p99_ms"`
+	// LatencySamples is how many samples the percentiles cover.
+	LatencySamples int `json:"latency_samples"`
+}
+
+// metrics accumulates serving statistics behind one mutex; every field
+// is touched only under mu, so snapshots are consistent.
+type metrics struct {
+	mu          sync.Mutex
+	start       time.Time
+	jobs        uint64
+	errors      uint64
+	cacheHits   uint64
+	cacheMisses uint64
+	lat         [latencyWindow]time.Duration
+	latNext     int
+	latCount    int
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now()}
+}
+
+// observeJob records one answered job that went through a cache
+// lookup, and its wall-clock latency.
+func (m *metrics) observeJob(d time.Duration, cached bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cached {
+		m.cacheHits++
+	} else {
+		m.cacheMisses++
+	}
+	m.recordJob(d)
+}
+
+// observeUncachedJob records an answered job that bypassed the cache
+// entirely (grid jobs): it counts toward jobs and latency but leaves
+// the hit/miss counters alone, so cache_hit_rate only reflects
+// lookups that happened.
+func (m *metrics) observeUncachedJob(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recordJob(d)
+}
+
+// recordJob counts one job and pushes its latency into the window.
+// Callers hold mu.
+func (m *metrics) recordJob(d time.Duration) {
+	m.jobs++
+	m.lat[m.latNext] = d
+	m.latNext = (m.latNext + 1) % latencyWindow
+	if m.latCount < latencyWindow {
+		m.latCount++
+	}
+}
+
+// observeError records one job that ended in an error response.
+func (m *metrics) observeError() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.errors++
+}
+
+// snapshot renders the current statistics. cacheEntries is passed in
+// so metrics stays decoupled from the cache implementation.
+func (m *metrics) snapshot(cacheEntries int) Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Stats{
+		UptimeSeconds:  time.Since(m.start).Seconds(),
+		JobsServed:     m.jobs,
+		Errors:         m.errors,
+		CacheHits:      m.cacheHits,
+		CacheMisses:    m.cacheMisses,
+		CacheEntries:   cacheEntries,
+		LatencySamples: m.latCount,
+	}
+	if total := m.cacheHits + m.cacheMisses; total > 0 {
+		st.CacheHitRate = float64(m.cacheHits) / float64(total)
+	}
+	if m.latCount > 0 {
+		window := make([]time.Duration, m.latCount)
+		copy(window, m.lat[:m.latCount])
+		sort.Slice(window, func(a, b int) bool { return window[a] < window[b] })
+		st.P50Millis = quantileMillis(window, 0.50)
+		st.P99Millis = quantileMillis(window, 0.99)
+	}
+	return st
+}
+
+// quantileMillis returns the nearest-rank q-quantile of the sorted
+// sample in milliseconds: index ceil(q*n)-1, so p99 over a window
+// with a single slow outlier actually surfaces it.
+func quantileMillis(sorted []time.Duration, q float64) float64 {
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx].Microseconds()) / 1000
+}

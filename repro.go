@@ -33,6 +33,7 @@ import (
 	"repro/internal/order"
 	"repro/internal/power"
 	"repro/internal/scan"
+	"repro/internal/server"
 )
 
 // Re-exported data types. The aliases keep one canonical definition
@@ -74,6 +75,14 @@ type (
 	// BatchResult is the outcome of one batch job (filled set, peak,
 	// timing, error).
 	BatchResult = engine.Result
+	// Server is the long-running HTTP/JSON fill service (cmd/dpfilld).
+	Server = server.Server
+	// ServerConfig tunes the fill service: engine workers, shape and
+	// body-size limits, per-request deadlines, result cache size.
+	ServerConfig = server.Config
+	// ServerStats is the service's /stats payload (jobs served, cache
+	// hit rate, latency percentiles).
+	ServerStats = server.Stats
 )
 
 // Trit values.
@@ -111,6 +120,15 @@ func NewEngine(workers int) *BatchEngine { return engine.New(workers) }
 // BatchErr returns the first job error in a batch result, or nil when
 // every job succeeded.
 func BatchErr(results []BatchResult) error { return engine.FirstErr(results) }
+
+// NewServer returns the HTTP fill service: POST /v1/fill, /v1/batch
+// and /v1/grid accept cube sets (inline matrices or STIL text) and
+// answer them through a shared batch engine worker pool, with an LRU
+// result cache, request validation against configurable limits,
+// per-request deadlines, and /healthz + /stats endpoints. Serve it
+// with Server.ListenAndServe (graceful shutdown on context cancel) or
+// mount Server.Handler under an existing mux.
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
 
 // Fills returns the named X-filling algorithms of the paper's tables:
 // "MT-fill", "R-fill", "0-fill", "1-fill", "B-fill", "DP-fill" via
