@@ -1,0 +1,123 @@
+// Command dpfill-coord runs the fill-cluster coordinator: a daemon
+// that shards /v1/batch workloads across a fleet of dpfilld workers,
+// health-checks them by heartbeat, retries failed shards on other
+// workers, and serves the same /v1/* API the workers do — callers
+// never learn the topology.
+//
+// Usage:
+//
+//	dpfill-coord -addr :8090 \
+//	    -worker http://fill-1:8080 -worker http://fill-2:8080 \
+//	    -heartbeat 2s -shard-size 16 -hedge-after 500ms
+//
+// Endpoints:
+//
+//	POST /v1/fill   one cube set, routed to the least-loaded worker
+//	POST /v1/batch  many jobs, sharded across the fleet
+//	POST /v1/grid   every Table II-IV filler on one set, proxied
+//	GET  /healthz   coordinator liveness + admitted worker count
+//	GET  /stats     fleet view: shards, retries, hedges, per-worker load
+//
+// With no reachable workers the coordinator answers on a local
+// in-process engine unless -fallback=false. The daemon shuts down
+// gracefully on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dpfill-coord:", err)
+		os.Exit(1)
+	}
+}
+
+// workersFlag accumulates -worker values: the flag is repeatable and
+// each value may hold a comma-separated URL list.
+type workersFlag []string
+
+func (w *workersFlag) String() string { return strings.Join(*w, ",") }
+func (w *workersFlag) Set(s string) error {
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			*w = append(*w, part)
+		}
+	}
+	return nil
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("dpfill-coord", flag.ContinueOnError)
+	addr := fs.String("addr", ":8090", "listen address")
+	var workers workersFlag
+	fs.Var(&workers, "worker", "dpfilld worker base URL (repeatable, comma-separable)")
+	heartbeat := fs.Duration("heartbeat", 2*time.Second, "worker health-check interval")
+	hbTimeout := fs.Duration("heartbeat-timeout", time.Second, "per-worker health-check deadline")
+	failThreshold := fs.Int("fail-threshold", 2, "consecutive failed heartbeats before ejecting a worker")
+	shardSize := fs.Int("shard-size", 16, "batch jobs per worker shard")
+	attempts := fs.Int("attempts", 3, "distinct workers tried per shard before giving up")
+	hedgeAfter := fs.Duration("hedge-after", 0, "duplicate a shard on another worker after this long (0 disables)")
+	attemptTimeout := fs.Duration("attempt-timeout", 3*time.Minute, "per-worker answer deadline before a shard fails over (hung-worker guard)")
+	fallback := fs.Bool("fallback", true, "run jobs on a local in-process engine when no worker is reachable")
+	localWorkers := fs.Int("fallback-workers", 0, "local fallback engine worker bound (0 = GOMAXPROCS)")
+	maxBody := fs.Int64("max-body", 8<<20, "largest accepted request body in bytes")
+	maxBatch := fs.Int("max-batch", 256, "largest accepted job count per batch")
+	grace := fs.Duration("grace", 5*time.Second, "graceful shutdown window")
+	accessLog := fs.Bool("access-log", false, "log one line per request (with X-Request-ID) to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var logger *log.Logger
+	if *accessLog {
+		logger = log.New(os.Stderr, "dpfill-coord ", log.LstdFlags|log.Lmsgprefix)
+	}
+	co, err := cluster.New(cluster.Config{
+		Workers: workers,
+		Registry: cluster.RegistryConfig{
+			HeartbeatInterval: *heartbeat,
+			HeartbeatTimeout:  *hbTimeout,
+			FailThreshold:     *failThreshold,
+		},
+		ShardSize:       *shardSize,
+		MaxAttempts:     *attempts,
+		HedgeAfter:      *hedgeAfter,
+		AttemptTimeout:  *attemptTimeout,
+		DisableFallback: !*fallback,
+		Local:           server.Config{Workers: *localWorkers},
+		MaxBodyBytes:    *maxBody,
+		MaxBatchJobs:    *maxBatch,
+		ShutdownGrace:   *grace,
+		Log:             logger,
+	})
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "dpfill-coord listening on %s (workers=%d shard-size=%d fallback=%v)\n",
+		l.Addr(), len(workers), *shardSize, *fallback)
+	err = co.Serve(ctx, l)
+	if err == nil {
+		fmt.Fprintln(stdout, "dpfill-coord: shut down cleanly")
+	}
+	return err
+}

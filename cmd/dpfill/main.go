@@ -9,12 +9,18 @@
 //	dpfill -in cubes.txt -grid        # full ordering x fill grid
 //	dpfill -jobs a.txt,b.stil -workers 4 -outdir filled/
 //	dpfill -order i -fill dp a.txt b.txt c.txt
+//	dpfill -server http://fill-coord:8090 a.txt b.txt
 //
 // With more than one input (via -jobs, repeated, and/or positional
 // arguments) the files are processed as a batch on the concurrent fill
 // engine: every job gets the same -order/-fill pipeline, failures are
 // reported per job without aborting the rest, and -outdir collects the
 // filled sets.
+//
+// With -server URL nothing is filled locally: inputs are read here and
+// submitted to a dpfilld worker or a dpfill-coord fleet through the
+// typed API client, in both single and batch mode (-grid then runs the
+// server-side filler grid under the one -order'ed ordering).
 //
 // Orderings: tool, xstat, i, isa. Fills: mt, r, 0, 1, b, adj, xstat, dp.
 package main
@@ -68,6 +74,7 @@ func run(args []string, stdout io.Writer) error {
 	fs.Var(&jobs, "jobs", "comma-separated input files to batch-fill (repeatable)")
 	workers := fs.Int("workers", 0, "batch engine worker bound (0 = GOMAXPROCS)")
 	outdir := fs.String("outdir", "", "directory for batch-mode filled sets")
+	serverURL := fs.String("server", "", "dpfilld/dpfill-coord base URL: submit jobs there instead of filling locally")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,6 +94,9 @@ func run(args []string, stdout io.Writer) error {
 		case len(inputs) == 0:
 			return fmt.Errorf("batch mode needs input files (-jobs or arguments)")
 		}
+		if *serverURL != "" {
+			return runRemoteBatch(stdout, *serverURL, inputs, *ordName, *fillName, *seed, *outdir)
+		}
 		return runBatch(stdout, inputs, *ordName, *fillName, *seed, *workers, *outdir)
 	}
 	// A single positional argument is shorthand for -in.
@@ -105,6 +115,14 @@ func run(args []string, stdout io.Writer) error {
 		}
 		defer f.Close()
 		r = f
+	}
+	// Remote mode: the input still comes from here, the work happens
+	// on the server (a dpfilld worker or a dpfill-coord fleet).
+	if *serverURL != "" {
+		if *grid {
+			return runRemoteGrid(stdout, *serverURL, r, *in, *ordName, *seed)
+		}
+		return runRemoteFill(stdout, *serverURL, r, *in, *ordName, *fillName, *seed, *out)
 	}
 	set, err := readCubes(r, *in)
 	if err != nil {

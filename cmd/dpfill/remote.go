@@ -1,0 +1,228 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/client"
+	"repro/internal/cube"
+)
+
+// Remote mode: with -server URL the binary becomes a thin front-end
+// for a dpfilld worker or a dpfill-coord fleet — inputs are read and
+// validated locally, jobs travel through internal/client, and the
+// reports mirror local mode line for line, so scripts can switch
+// between topologies without reparsing output.
+
+// remotePayload reads one input into a fill request: STIL files
+// travel as STIL text (the server parses them), plain cube files are
+// parsed locally and sent as an inline matrix.
+func remotePayload(r io.Reader, path string) (client.FillRequest, error) {
+	if strings.EqualFold(filepath.Ext(path), ".stil") {
+		data, err := io.ReadAll(r)
+		if err != nil {
+			return client.FillRequest{}, err
+		}
+		return client.FillRequest{STIL: string(data)}, nil
+	}
+	set, err := cube.ReadSet(r)
+	if err != nil {
+		return client.FillRequest{}, err
+	}
+	cubes := make([]string, set.Len())
+	for i, c := range set.Cubes {
+		cubes[i] = c.String()
+	}
+	return client.FillRequest{Cubes: cubes}, nil
+}
+
+// runRemoteFill submits one input through /v1/fill and reports like
+// the local single-input path.
+func runRemoteFill(stdout io.Writer, serverURL string, r io.Reader, path, ordName, fillName string, seed int64, out string) error {
+	c, err := client.New(client.Config{BaseURL: serverURL})
+	if err != nil {
+		return err
+	}
+	req, err := remotePayload(r, path)
+	if err != nil {
+		return err
+	}
+	req.Name = path
+	req.Orderer = ordName
+	req.Filler = fillName
+	req.Seed = seed
+	req.OmitCubes = out == ""
+	resp, err := c.Fill(context.Background(), req)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "read %d cubes of width %d (%.1f%% X)\n",
+		resp.Rows, resp.Width, resp.XPercent)
+	fmt.Fprintf(stdout, "%s + %s: peak input toggles = %d (total %d)\n",
+		resp.Orderer, resp.Filler, resp.Peak, resp.Total)
+	if out != "" {
+		if err := writeCubeLines(out, resp.Cubes); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", out)
+	}
+	return nil
+}
+
+// runRemoteGrid evaluates every filler on one input through /v1/grid
+// under the flag-selected ordering and prints the rendered table.
+func runRemoteGrid(stdout io.Writer, serverURL string, r io.Reader, path, ordName string, seed int64) error {
+	c, err := client.New(client.Config{BaseURL: serverURL})
+	if err != nil {
+		return err
+	}
+	req, err := remotePayload(r, path)
+	if err != nil {
+		return err
+	}
+	name := path
+	if name == "" || name == "-" {
+		name = "stdin"
+	}
+	resp, err := c.Grid(context.Background(), client.GridRequest{
+		Name:    filepath.Base(name),
+		Cubes:   req.Cubes,
+		STIL:    req.STIL,
+		Orderer: ordName,
+		Seed:    seed,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := io.WriteString(stdout, resp.Table); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "best: %s\n", resp.Best)
+	return nil
+}
+
+// runRemoteBatch submits every input as one /v1/batch and prints the
+// same per-job table as local batch mode. Unreadable inputs become
+// pre-failed rows without aborting the rest, matching local
+// semantics; the first failure is returned after the whole report.
+func runRemoteBatch(stdout io.Writer, serverURL string, inputs []string, ordName, fillName string, seed int64, outdir string) error {
+	c, err := client.New(client.Config{BaseURL: serverURL})
+	if err != nil {
+		return err
+	}
+	items := make([]client.BatchItem, len(inputs))
+	var jobs []client.FillRequest
+	var jobIdx []int // jobs[k] answers items[jobIdx[k]]
+	for i, path := range inputs {
+		f, err := os.Open(path)
+		if err != nil {
+			items[i] = client.BatchItem{Error: err.Error()}
+			continue
+		}
+		req, err := remotePayload(f, path)
+		f.Close()
+		if err != nil {
+			items[i] = client.BatchItem{Error: err.Error()}
+			continue
+		}
+		req.Name = path
+		req.Orderer = ordName
+		req.Filler = fillName
+		req.Seed = seed
+		req.OmitCubes = outdir == ""
+		jobs = append(jobs, req)
+		jobIdx = append(jobIdx, i)
+	}
+	// Chunk to the server's default batch limit so job counts beyond
+	// it still run, mirroring local mode's no-ceiling batch engine. A
+	// chunk that fails wholesale (fleet unreachable, oversized reply)
+	// fails only its own rows — the other chunks still answer, which
+	// is the per-job isolation local mode gives.
+	const chunkSize = 256
+	for lo := 0; lo < len(jobs); lo += chunkSize {
+		hi := min(lo+chunkSize, len(jobs))
+		chunk := jobs[lo:hi]
+		resp, err := c.Batch(context.Background(), client.BatchRequest{Jobs: chunk})
+		switch {
+		case err != nil:
+			for k := lo; k < hi; k++ {
+				items[jobIdx[k]] = client.BatchItem{Error: err.Error()}
+			}
+		case len(resp.Results) != len(chunk):
+			msg := fmt.Sprintf("server answered %d results for %d jobs", len(resp.Results), len(chunk))
+			for k := lo; k < hi; k++ {
+				items[jobIdx[k]] = client.BatchItem{Error: msg}
+			}
+		default:
+			for k, it := range resp.Results {
+				items[jobIdx[lo+k]] = it
+			}
+		}
+	}
+	if outdir != "" {
+		if err := os.MkdirAll(outdir, 0o755); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stdout, "%s + %s over %d jobs via %s\n", ordName, fillName, len(inputs), serverURL)
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "job\tcubes\twidth\tX%\tpeak\ttotal\tms\tstatus")
+	failures := 0
+	var firstErr error
+	for i, it := range items {
+		name := inputs[i]
+		if it.Error != "" {
+			failures++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %s", name, it.Error)
+			}
+			fmt.Fprintf(tw, "%s\t-\t-\t-\t-\t-\t-\t%s\n", name, it.Error)
+			continue
+		}
+		r := it.Result
+		status := "ok"
+		if outdir != "" {
+			base := strings.TrimSuffix(filepath.Base(name), filepath.Ext(name))
+			dst := filepath.Join(outdir, base+".filled")
+			if err := writeCubeLines(dst, r.Cubes); err != nil {
+				failures++
+				if firstErr == nil {
+					firstErr = err
+				}
+				status = err.Error()
+			} else {
+				status = "wrote " + dst
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f\t%d\t%d\t%.2f\t%s\n",
+			name, r.Rows, r.Width, r.XPercent, r.Peak, r.Total, r.DurationMillis, status)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d jobs failed: first: %w", failures, len(inputs), firstErr)
+	}
+	return nil
+}
+
+// writeCubeLines writes a filled set as the same one-cube-per-line
+// format cube.Set.Write emits, from the response's string form.
+func writeCubeLines(path string, cubes []string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, c := range cubes {
+		if _, err := fmt.Fprintln(f, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

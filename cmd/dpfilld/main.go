@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"os"
 	"os/signal"
@@ -53,8 +54,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "default per-job deadline")
 	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "ceiling for requested deadlines")
 	grace := fs.Duration("grace", 5*time.Second, "graceful shutdown window")
+	accessLog := fs.Bool("access-log", false, "log one line per request (with X-Request-ID) to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var logger *log.Logger
+	if *accessLog {
+		logger = log.New(os.Stderr, "dpfilld ", log.LstdFlags|log.Lmsgprefix)
 	}
 	srv := server.New(server.Config{
 		Workers:        *workers,
@@ -65,6 +71,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		ShutdownGrace:  *grace,
+		Log:            logger,
 	})
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

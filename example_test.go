@@ -121,3 +121,31 @@ func ExampleNewServer() {
 	// Output:
 	// DP-fill peak 1: [00 10 11 11]
 }
+
+// The cluster coordinator serves the same API over a dpfilld fleet.
+// With no workers configured it degrades to its local in-process
+// engine, so the zero-worker form doubles as a topology-agnostic
+// local server; in production it runs via cmd/dpfill-coord with
+// -worker URLs and heartbeat health-checking.
+func ExampleNewCluster() {
+	co, err := repro.NewCluster(repro.ClusterConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(co.Handler())
+	defer ts.Close()
+
+	c, err := repro.NewFillClient(repro.FillClientConfig{BaseURL: ts.URL})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := c.Fill(context.Background(), repro.FillRequest{
+		Cubes: []string{"00", "XX", "XX", "11"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s peak %d: %v\n", resp.Filler, resp.Peak, resp.Cubes)
+	// Output:
+	// DP-fill peak 1: [00 10 11 11]
+}

@@ -1,0 +1,374 @@
+// Package cluster scales the fill service out: a Coordinator shards
+// /v1/batch workloads across a fleet of dpfilld workers over their
+// existing HTTP API and re-exposes the same /v1/* surface, so callers
+// are topology-agnostic — one worker, a fleet, or nothing but the
+// coordinator's own in-process engine all answer identically.
+//
+// The moving parts:
+//
+//   - a worker registry that admits workers by heartbeat (/healthz +
+//     /stats polling), ejects them after consecutive failures or a
+//     mid-dispatch transport error, and readmits them on recovery;
+//   - least-loaded dispatch ranked by live /stats queue depth plus the
+//     coordinator's own outstanding jobs per worker;
+//   - batch sharding with per-shard failover to a different worker,
+//     optional hedged requests for stragglers, and partial-failure
+//     aggregation that preserves submission order;
+//   - a local in-process engine fallback when the fleet is empty, so a
+//     coordinator with zero workers degrades to a single node instead
+//     of an outage.
+//
+// Determinism contract: because every fill algorithm is deterministic,
+// a batch answered by any mix of workers, hedges and fallbacks is
+// byte-identical to the same batch run on a local engine.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/reqid"
+	"repro/internal/server"
+)
+
+// Config tunes a Coordinator. Workers may be empty (every request then
+// runs on the local fallback engine unless DisableFallback is set).
+type Config struct {
+	// Workers are the dpfilld base URLs of the fleet.
+	Workers []string
+	// Registry tunes heartbeat health-checking.
+	Registry RegistryConfig
+	// ShardSize is how many jobs of one batch go to one worker at a
+	// time (default 16). Smaller shards spread wider and retry
+	// cheaper; larger ones amortize per-request overhead.
+	ShardSize int
+	// MaxAttempts bounds how many distinct workers one shard tries
+	// before falling back (default 3, clamped to the fleet size).
+	MaxAttempts int
+	// HedgeAfter, when positive, launches a duplicate of a shard on
+	// another worker if the first answer is still pending after this
+	// long; the first success wins. 0 disables hedging.
+	HedgeAfter time.Duration
+	// AttemptTimeout bounds one worker's answer to one dispatch
+	// (default 3m — above the worker's own 2m job-deadline ceiling, so
+	// legitimately slow jobs answer 504 on their own first). A worker
+	// that is reachable but hung would otherwise stall its shard
+	// forever: heartbeat ejection never cancels an in-flight attempt.
+	// On expiry the worker is ejected and the shard fails over.
+	AttemptTimeout time.Duration
+	// DisableFallback refuses requests with 503 when no worker is
+	// reachable instead of running them on the local engine.
+	DisableFallback bool
+	// Local configures the in-process fallback service (engine
+	// workers, shape limits). Ignored when DisableFallback is set.
+	Local server.Config
+	// MaxBodyBytes bounds request bodies (default 8 MiB);
+	// MaxBatchJobs bounds one batch (default 256) — the same guards
+	// dpfilld itself applies.
+	MaxBodyBytes int64
+	MaxBatchJobs int
+	// ShutdownGrace bounds how long Serve waits for in-flight
+	// requests after its context is cancelled (default 5s). Size it
+	// above the longest legitimate batch when rolling restarts must
+	// not truncate callers.
+	ShutdownGrace time.Duration
+	// Log, when non-nil, receives access-log and dispatch-event lines
+	// tagged with each request's X-Request-ID.
+	Log *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.ShardSize <= 0 {
+		c.ShardSize = 16
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = 3 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxBatchJobs <= 0 {
+		c.MaxBatchJobs = 256
+	}
+	if c.ShutdownGrace <= 0 {
+		c.ShutdownGrace = 5 * time.Second
+	}
+	return c
+}
+
+// Coordinator shards fill workloads across a dpfilld fleet behind the
+// same /v1/* API the workers themselves serve. Construct with New;
+// run heartbeats with Run or Serve.
+type Coordinator struct {
+	cfg   Config
+	reg   *registry
+	local *client.Client // in-process fallback; nil when disabled
+	met   *metrics
+	mux   *http.ServeMux
+}
+
+// New builds a Coordinator over the configured fleet. Workers start
+// unadmitted; the first heartbeat sweep (Run/Serve) brings them in.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	// One pooled HTTP client spans every worker: the coordinator is
+	// exactly the chatty many-requests-few-hosts shape connection
+	// reuse exists for.
+	shared := client.NewPooledHTTPClient()
+	mkClient := func(u string) (*client.Client, error) {
+		// MaxAttempts 1: the coordinator does cross-worker failover
+		// itself; in-place retries against a dead worker only delay it.
+		return client.New(client.Config{BaseURL: u, HTTPClient: shared, MaxAttempts: 1})
+	}
+	reg, err := newRegistry(cfg.Registry, cfg.Workers, mkClient)
+	if err != nil {
+		return nil, err
+	}
+	co := &Coordinator{cfg: cfg, reg: reg, met: newMetrics()}
+	if !cfg.DisableFallback {
+		co.local, err = newLocalClient(server.New(cfg.Local))
+		if err != nil {
+			return nil, err
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/fill", co.handleFill)
+	mux.HandleFunc("POST /v1/batch", co.handleBatch)
+	mux.HandleFunc("POST /v1/grid", co.handleGrid)
+	mux.HandleFunc("GET /healthz", co.handleHealthz)
+	mux.HandleFunc("GET /stats", co.handleStats)
+	co.mux = mux
+	return co, nil
+}
+
+// Run drives the registry's heartbeat loop until ctx is cancelled.
+// Serve calls it internally; call it directly when mounting Handler
+// under an external HTTP server.
+func (co *Coordinator) Run(ctx context.Context) { co.reg.run(ctx) }
+
+// errNoWorkers means dispatch found no admitted worker to try.
+var errNoWorkers = errors.New("cluster: no healthy workers")
+
+// dispatch routes one call through the fleet: least-loaded worker
+// first, failover to the next-best worker on retryable failure, and —
+// when hedging is on — a duplicate attempt if the current one is
+// still pending after HedgeAfter. weight is the job count, charged to
+// the worker's outstanding load while the attempt is in flight.
+func dispatch[T any](co *Coordinator, ctx context.Context, weight int, call func(context.Context, *client.Client) (*T, error)) (*T, error) {
+	type outcome struct {
+		resp *T
+		err  error
+		w    *worker
+		idx  int // launch ordinal, for hedge-win attribution
+	}
+	results := make(chan outcome, co.cfg.MaxAttempts)
+	tried := make(map[*worker]bool)
+	var cancels []context.CancelFunc
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+	launched := 0
+	launch := func() bool {
+		w := co.reg.pick(tried)
+		if w == nil {
+			return false
+		}
+		tried[w] = true
+		w.addOutstanding(weight)
+		// The per-attempt deadline is the hang guard: a worker that is
+		// reachable but never answers must not stall the shard past it.
+		actx, cancel := context.WithTimeout(ctx, co.cfg.AttemptTimeout)
+		cancels = append(cancels, cancel)
+		idx := launched
+		launched++
+		go func() {
+			resp, err := call(actx, w.c)
+			w.addOutstanding(-weight)
+			results <- outcome{resp, err, w, idx}
+		}()
+		return true
+	}
+	if !launch() {
+		return nil, errNoWorkers
+	}
+	outstanding := 1
+	hedgeIdx := -1 // launch ordinal of the hedge attempt, if any
+	var hedgeC <-chan time.Time
+	if co.cfg.HedgeAfter > 0 {
+		t := time.NewTimer(co.cfg.HedgeAfter)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	var lastErr error
+	for outstanding > 0 {
+		select {
+		case out := <-results:
+			outstanding--
+			if out.err == nil {
+				// A hedge win means the duplicate itself answered
+				// first — failover retries winning is not one.
+				if out.idx == hedgeIdx {
+					co.met.hedgeWins.Add(1)
+				}
+				return out.resp, nil
+			}
+			lastErr = out.err
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			// The caller is still waiting (ctx is alive), so a deadline
+			// in the error is this attempt's own AttemptTimeout: the
+			// worker hung. That is a failover case, not a terminal one.
+			hung := errors.Is(out.err, context.DeadlineExceeded)
+			if client.Retryable(out.err) || hung {
+				var api *client.APIError
+				if hung || !errors.As(out.err, &api) {
+					// An unreachable or hung worker is ejected now
+					// rather than after FailThreshold heartbeats (a
+					// merely-slow-but-alive one is readmitted by its
+					// next successful sweep).
+					out.w.markDown()
+				}
+				if launched < co.cfg.MaxAttempts && launch() {
+					outstanding++
+					co.met.retries.Add(1)
+				}
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if launched < co.cfg.MaxAttempts {
+				hedgeIdx = launched
+				if launch() {
+					outstanding++
+					co.met.hedges.Add(1)
+				} else {
+					hedgeIdx = -1
+				}
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if lastErr == nil {
+		lastErr = errNoWorkers
+	}
+	return nil, lastErr
+}
+
+// fillThrough answers one fill request: fleet first, local fallback
+// when the fleet can't.
+func (co *Coordinator) fillThrough(ctx context.Context, req client.FillRequest) (*client.FillResponse, error) {
+	co.met.jobs.Add(1)
+	resp, err := dispatch(co, ctx, 1, func(ctx context.Context, c *client.Client) (*client.FillResponse, error) {
+		return c.Fill(ctx, req)
+	})
+	if err != nil && co.fallbackEligible(ctx, err) {
+		co.met.fallbacks.Add(1)
+		return co.local.Fill(ctx, req)
+	}
+	return resp, err
+}
+
+// gridThrough proxies one grid request to a single worker, with the
+// same failover and fallback as fills.
+func (co *Coordinator) gridThrough(ctx context.Context, req client.GridRequest) (*client.GridResponse, error) {
+	co.met.jobs.Add(1)
+	// A grid fans one set across every paper filler; weight it as such.
+	const gridWeight = 8
+	resp, err := dispatch(co, ctx, gridWeight, func(ctx context.Context, c *client.Client) (*client.GridResponse, error) {
+		return c.Grid(ctx, req)
+	})
+	if err != nil && co.fallbackEligible(ctx, err) {
+		co.met.fallbacks.Add(1)
+		return co.local.Grid(ctx, req)
+	}
+	return resp, err
+}
+
+// fallbackEligible reports whether a dispatch failure should be
+// retried on the local engine: the fleet was empty, kept failing at
+// the transport/overload level, or hung past AttemptTimeout (the
+// caller is still waiting — ctx is alive — so a deadline in err is an
+// attempt's own), and a fallback engine exists. Terminal API answers
+// (validation errors, job deadline overruns reported by a worker)
+// pass through untouched — the local engine would only repeat them.
+func (co *Coordinator) fallbackEligible(ctx context.Context, err error) bool {
+	if co.local == nil || ctx.Err() != nil {
+		return false
+	}
+	return errors.Is(err, errNoWorkers) || client.Retryable(err) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// batchThrough shards a batch across the fleet and aggregates the
+// results in submission order. Shard failures surface as per-item
+// errors; every other shard still answers.
+func (co *Coordinator) batchThrough(ctx context.Context, req client.BatchRequest) *client.BatchResponse {
+	n := len(req.Jobs)
+	items := make([]client.BatchItem, n)
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += co.cfg.ShardSize {
+		hi := min(lo+co.cfg.ShardSize, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			co.runShard(ctx, req.Jobs[lo:hi], items[lo:hi])
+		}(lo, hi)
+	}
+	wg.Wait()
+	failed := 0
+	for _, it := range items {
+		if it.Error != "" {
+			failed++
+		}
+	}
+	co.met.jobs.Add(uint64(n))
+	return &client.BatchResponse{Results: items, Failed: failed}
+}
+
+// runShard answers one contiguous slice of a batch, writing results
+// into the aligned out slice.
+func (co *Coordinator) runShard(ctx context.Context, jobs []client.FillRequest, out []client.BatchItem) {
+	co.met.shards.Add(1)
+	sub := client.BatchRequest{Jobs: jobs}
+	resp, err := dispatch(co, ctx, len(jobs), func(ctx context.Context, c *client.Client) (*client.BatchResponse, error) {
+		return c.Batch(ctx, sub)
+	})
+	if err != nil && co.fallbackEligible(ctx, err) {
+		co.met.fallbacks.Add(1)
+		resp, err = co.local.Batch(ctx, sub)
+	}
+	if err != nil {
+		co.met.shardFailures.Add(1)
+		if co.cfg.Log != nil {
+			co.cfg.Log.Printf("shard of %d jobs failed rid=%s: %v", len(jobs), reqid.From(ctx), err)
+		}
+		msg := fmt.Sprintf("cluster: shard dispatch failed: %v", err)
+		for i := range out {
+			out[i] = client.BatchItem{Error: msg}
+		}
+		return
+	}
+	if len(resp.Results) != len(jobs) {
+		// A worker answering the wrong shape is a protocol violation;
+		// fail the shard rather than misalign the batch.
+		co.met.shardFailures.Add(1)
+		msg := fmt.Sprintf("cluster: worker answered %d results for a %d-job shard", len(resp.Results), len(jobs))
+		for i := range out {
+			out[i] = client.BatchItem{Error: msg}
+		}
+		return
+	}
+	copy(out, resp.Results)
+}

@@ -1,0 +1,231 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/reqid"
+)
+
+// Stats is the coordinator's GET /stats payload.
+type Stats struct {
+	// UptimeSeconds is the time since the coordinator was constructed.
+	UptimeSeconds float64 `json:"uptime_s"`
+	// WorkersTotal and WorkersHealthy size the fleet and its admitted
+	// subset.
+	WorkersTotal   int `json:"workers_total"`
+	WorkersHealthy int `json:"workers_healthy"`
+	// JobsDispatched counts jobs accepted for dispatch regardless of
+	// outcome — each batch job, each single fill, each grid — over
+	// fleet and fallback alike. ShardsDispatched counts the worker
+	// shards batches were split into.
+	JobsDispatched   uint64 `json:"jobs_dispatched"`
+	ShardsDispatched uint64 `json:"shards_dispatched"`
+	// ShardRetries counts failover re-dispatches to another worker;
+	// ShardFailures shards whose every attempt failed.
+	ShardRetries  uint64 `json:"shard_retries"`
+	ShardFailures uint64 `json:"shard_failures"`
+	// HedgesLaunched counts duplicate straggler attempts; HedgeWins
+	// dispatches where more than one attempt ran and one succeeded.
+	HedgesLaunched uint64 `json:"hedges_launched"`
+	HedgeWins      uint64 `json:"hedge_wins"`
+	// Fallbacks counts dispatches answered by the local in-process
+	// engine because the fleet could not.
+	Fallbacks uint64 `json:"fallbacks"`
+	// Workers is the per-worker registry view.
+	Workers []WorkerStatus `json:"workers"`
+}
+
+// metrics is the coordinator's dispatch accounting, all atomics.
+type metrics struct {
+	start         time.Time
+	jobs          atomic.Uint64
+	shards        atomic.Uint64
+	retries       atomic.Uint64
+	shardFailures atomic.Uint64
+	hedges        atomic.Uint64
+	hedgeWins     atomic.Uint64
+	fallbacks     atomic.Uint64
+}
+
+func newMetrics() *metrics { return &metrics{start: time.Now()} }
+
+// Stats returns a snapshot of the coordinator's dispatch statistics
+// and the registry's per-worker view.
+func (co *Coordinator) Stats() Stats {
+	return Stats{
+		UptimeSeconds:    time.Since(co.met.start).Seconds(),
+		WorkersTotal:     len(co.reg.workers),
+		WorkersHealthy:   co.reg.healthyCount(),
+		JobsDispatched:   co.met.jobs.Load(),
+		ShardsDispatched: co.met.shards.Load(),
+		ShardRetries:     co.met.retries.Load(),
+		ShardFailures:    co.met.shardFailures.Load(),
+		HedgesLaunched:   co.met.hedges.Load(),
+		HedgeWins:        co.met.hedgeWins.Load(),
+		Fallbacks:        co.met.fallbacks.Load(),
+		Workers:          co.reg.snapshot(),
+	}
+}
+
+// Handler returns the coordinator's HTTP handler: the same /v1/*
+// surface dpfilld serves, plus cluster-level /healthz and /stats.
+// Every request passes through reqid.Middleware, so an X-Request-ID
+// (minted here when the caller sent none) is echoed in the response,
+// forwarded to every worker the request touches, and written to the
+// access log when Config.Log is set.
+func (co *Coordinator) Handler() http.Handler {
+	return reqid.Middleware(co.cfg.Log, co.mux)
+}
+
+// Serve runs the heartbeat loop and accepts connections on l until
+// ctx is cancelled, then shuts down gracefully.
+func (co *Coordinator) Serve(ctx context.Context, l net.Listener) error {
+	hctx, stop := context.WithCancel(ctx)
+	defer stop()
+	go co.Run(hctx)
+	hs := &http.Server{
+		Handler:           co.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), co.cfg.ShutdownGrace)
+		defer cancel()
+		err := hs.Shutdown(sctx)
+		if serveErr := <-errc; !errors.Is(serveErr, http.ErrServerClosed) && err == nil {
+			err = serveErr
+		}
+		return err
+	}
+}
+
+// ListenAndServe binds addr and calls Serve.
+func (co *Coordinator) ListenAndServe(ctx context.Context, addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return co.Serve(ctx, l)
+}
+
+func (co *Coordinator) handleFill(w http.ResponseWriter, r *http.Request) {
+	var req client.FillRequest
+	if !co.decode(w, r, &req) {
+		return
+	}
+	resp, err := co.fillThrough(r.Context(), req)
+	if err != nil {
+		co.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (co *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req client.BatchRequest
+	if !co.decode(w, r, &req) {
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "batch carries no jobs"})
+		return
+	}
+	if len(req.Jobs) > co.cfg.MaxBatchJobs {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: fmt.Sprintf("%d jobs exceed the batch limit %d", len(req.Jobs), co.cfg.MaxBatchJobs)})
+		return
+	}
+	writeJSON(w, http.StatusOK, co.batchThrough(r.Context(), req))
+}
+
+func (co *Coordinator) handleGrid(w http.ResponseWriter, r *http.Request) {
+	var req client.GridRequest
+	if !co.decode(w, r, &req) {
+		return
+	}
+	resp, err := co.gridThrough(r.Context(), req)
+	if err != nil {
+		co.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (co *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":          "ok",
+		"workers_total":   len(co.reg.workers),
+		"workers_healthy": co.reg.healthyCount(),
+	})
+}
+
+func (co *Coordinator) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, co.Stats())
+}
+
+// errorResponse mirrors the worker's uniform error payload.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// decode reads a size-limited, strict JSON body into v, answering the
+// error itself (and returning false) on failure.
+func (co *Coordinator) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, co.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed JSON: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// writeError maps a dispatch failure to its HTTP status: worker API
+// answers pass through verbatim, an empty fleet is 503, client
+// disconnects 499, deadline overruns 504, and transport-level fleet
+// failures surface as 502.
+func (co *Coordinator) writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadGateway
+	var api *client.APIError
+	switch {
+	case errors.As(err, &api):
+		// Pass the worker's answer through verbatim: same status, same
+		// message, as if the caller had spoken to the worker directly.
+		writeJSON(w, api.Status, errorResponse{Error: api.Message})
+		return
+	case errors.Is(err, errNoWorkers):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = 499
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

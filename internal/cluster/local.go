@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+
+	"repro/internal/client"
+	"repro/internal/server"
+)
+
+// newLocalClient wraps an in-process fill service in a Client whose
+// transport serves requests directly against the handler — no socket,
+// no listener. The fallback path thereby reuses the exact request
+// encoding and error mapping of the remote path, so local answers are
+// indistinguishable from fleet answers.
+func newLocalClient(srv *server.Server) (*client.Client, error) {
+	return client.New(client.Config{
+		BaseURL:     "http://local.fallback",
+		HTTPClient:  &http.Client{Transport: handlerTransport{h: srv.Handler()}},
+		MaxAttempts: 1,
+	})
+}
+
+// handlerTransport is an http.RoundTripper that dispatches requests
+// to an in-process handler.
+type handlerTransport struct{ h http.Handler }
+
+func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := &responseRecorder{header: make(http.Header), status: http.StatusOK}
+	t.h.ServeHTTP(rec, req.WithContext(req.Context()))
+	return &http.Response{
+		StatusCode:    rec.status,
+		Status:        http.StatusText(rec.status),
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        rec.header,
+		Body:          io.NopCloser(bytes.NewReader(rec.body.Bytes())),
+		ContentLength: int64(rec.body.Len()),
+		Request:       req,
+	}, nil
+}
+
+// responseRecorder is the minimal http.ResponseWriter the in-process
+// transport needs: headers, status, body.
+type responseRecorder struct {
+	header      http.Header
+	status      int
+	wroteHeader bool
+	body        bytes.Buffer
+}
+
+func (r *responseRecorder) Header() http.Header { return r.header }
+
+func (r *responseRecorder) WriteHeader(status int) {
+	if r.wroteHeader {
+		return
+	}
+	r.wroteHeader = true
+	r.status = status
+}
+
+func (r *responseRecorder) Write(p []byte) (int, error) {
+	r.WriteHeader(http.StatusOK)
+	return r.body.Write(p)
+}

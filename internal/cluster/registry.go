@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+)
+
+// RegistryConfig tunes worker health-checking. The zero value gets
+// production-safe defaults.
+type RegistryConfig struct {
+	// HeartbeatInterval is the period between health sweeps (default
+	// 2s). Every sweep polls each worker's /healthz and /stats.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout bounds one worker's poll (default 1s).
+	HeartbeatTimeout time.Duration
+	// FailThreshold is how many consecutive failed heartbeats eject a
+	// worker (default 2). One successful heartbeat readmits it.
+	FailThreshold int
+}
+
+func (c RegistryConfig) withDefaults() RegistryConfig {
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 2 * time.Second
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = time.Second
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 2
+	}
+	return c
+}
+
+// worker is one registered dpfilld instance and the registry's view
+// of it. All mutable state sits behind mu.
+type worker struct {
+	url string
+	c   *client.Client
+
+	mu      sync.Mutex
+	healthy bool
+	fails   int          // consecutive failed heartbeats
+	stats   client.Stats // last successful /stats poll
+	polled  time.Time    // when stats was taken
+	// outstanding counts jobs this coordinator has dispatched to the
+	// worker and not yet seen answered. It is the live component of
+	// the load score: /stats polls lag by up to a heartbeat interval,
+	// but outstanding moves the instant a shard is dispatched.
+	outstanding int
+}
+
+// load ranks the worker for least-loaded dispatch: the worker's own
+// reported backlog plus what this coordinator already has in flight
+// to it.
+func (w *worker) load() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats.QueueDepth + w.stats.InFlight + w.outstanding
+}
+
+func (w *worker) addOutstanding(n int) {
+	w.mu.Lock()
+	w.outstanding += n
+	w.mu.Unlock()
+}
+
+// markDown ejects the worker immediately — called when a dispatch
+// fails at the transport level, so the registry reacts at once
+// instead of waiting out FailThreshold heartbeats.
+func (w *worker) markDown() {
+	w.mu.Lock()
+	w.healthy = false
+	w.mu.Unlock()
+}
+
+func (w *worker) isHealthy() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.healthy
+}
+
+// WorkerStatus is one worker's row in the coordinator's /stats.
+type WorkerStatus struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// ConsecutiveFails counts failed heartbeats since the last success.
+	ConsecutiveFails int `json:"consecutive_fails"`
+	// QueueDepth and InFlight are the worker's last-polled engine
+	// occupancy; Outstanding is this coordinator's own in-flight job
+	// count against it.
+	QueueDepth  int `json:"queue_depth"`
+	InFlight    int `json:"inflight"`
+	Outstanding int `json:"outstanding"`
+	// LastSeenSeconds is the age of the last successful poll; negative
+	// when the worker has never answered.
+	LastSeenSeconds float64 `json:"last_seen_s"`
+}
+
+// registry tracks the worker fleet and its health. Workers start
+// unhealthy and are admitted by their first successful heartbeat, so
+// dispatch never races ahead of the first health sweep.
+type registry struct {
+	cfg     RegistryConfig
+	workers []*worker
+}
+
+// newRegistry builds a registry over the given worker base URLs.
+func newRegistry(cfg RegistryConfig, urls []string, mkClient func(string) (*client.Client, error)) (*registry, error) {
+	cfg = cfg.withDefaults()
+	r := &registry{cfg: cfg}
+	for _, u := range urls {
+		c, err := mkClient(u)
+		if err != nil {
+			return nil, err
+		}
+		r.workers = append(r.workers, &worker{url: c.BaseURL(), c: c})
+	}
+	return r, nil
+}
+
+// run sweeps heartbeats until ctx is cancelled, starting with an
+// immediate sweep so a fresh coordinator admits its fleet without
+// waiting a full interval.
+func (r *registry) run(ctx context.Context) {
+	r.sweep(ctx)
+	t := time.NewTicker(r.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			r.sweep(ctx)
+		}
+	}
+}
+
+// sweep polls every worker concurrently: /healthz decides liveness,
+// /stats refreshes the load view used for dispatch.
+func (r *registry) sweep(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, w := range r.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			hctx, cancel := context.WithTimeout(ctx, r.cfg.HeartbeatTimeout)
+			defer cancel()
+			st, err := w.c.Stats(hctx)
+			if err == nil {
+				err = w.c.Healthz(hctx)
+			}
+			w.mu.Lock()
+			defer w.mu.Unlock()
+			if err != nil {
+				w.fails++
+				if w.fails >= r.cfg.FailThreshold {
+					w.healthy = false
+				}
+				return
+			}
+			w.fails = 0
+			w.healthy = true
+			w.stats = *st
+			w.polled = time.Now()
+		}(w)
+	}
+	wg.Wait()
+}
+
+// pick returns the least-loaded healthy worker not in exclude, or nil
+// when none qualifies.
+func (r *registry) pick(exclude map[*worker]bool) *worker {
+	var best *worker
+	bestLoad := 0
+	for _, w := range r.workers {
+		if exclude[w] || !w.isHealthy() {
+			continue
+		}
+		if l := w.load(); best == nil || l < bestLoad {
+			best, bestLoad = w, l
+		}
+	}
+	return best
+}
+
+// healthyCount returns how many workers are currently admitted.
+func (r *registry) healthyCount() int {
+	n := 0
+	for _, w := range r.workers {
+		if w.isHealthy() {
+			n++
+		}
+	}
+	return n
+}
+
+// snapshot renders the per-worker status rows for /stats.
+func (r *registry) snapshot() []WorkerStatus {
+	out := make([]WorkerStatus, len(r.workers))
+	now := time.Now()
+	for i, w := range r.workers {
+		w.mu.Lock()
+		s := WorkerStatus{
+			URL:              w.url,
+			Healthy:          w.healthy,
+			ConsecutiveFails: w.fails,
+			QueueDepth:       w.stats.QueueDepth,
+			InFlight:         w.stats.InFlight,
+			Outstanding:      w.outstanding,
+			LastSeenSeconds:  -1,
+		}
+		if !w.polled.IsZero() {
+			s.LastSeenSeconds = now.Sub(w.polled).Seconds()
+		}
+		w.mu.Unlock()
+		out[i] = s
+	}
+	return out
+}

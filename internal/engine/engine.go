@@ -98,6 +98,12 @@ type Engine struct {
 	// use so the bound holds across overlapping Run calls.
 	semOnce sync.Once
 	sem     chan struct{}
+
+	// pending counts jobs accepted by Run but not yet finished;
+	// running counts jobs currently executing in a worker slot. Both
+	// span overlapping Run calls, so Load sees the whole process.
+	pending atomic.Int64
+	running atomic.Int64
 }
 
 // New returns an engine with the given worker bound; <= 0 sizes the
@@ -137,6 +143,25 @@ func (e *Engine) semaphore() chan struct{} {
 	return e.sem
 }
 
+// Load reports the engine's live occupancy across every in-flight Run
+// call: queued is how many accepted jobs are waiting for a worker
+// slot, inflight how many are executing right now. A service exposes
+// these so a load balancer can rank replicas by real backlog instead
+// of guessing from latency.
+func (e *Engine) Load() (queued, inflight int) {
+	p, r := e.pending.Load(), e.running.Load()
+	if q := p - r; q > 0 {
+		queued = int(q)
+	}
+	if r > 0 {
+		inflight = int(r)
+	}
+	return queued, inflight
+}
+
+// Bound returns the resolved machine-wide worker bound.
+func (e *Engine) Bound() int { return cap(e.semaphore()) }
+
 // dispatchOrder returns the job indices in execution order: descending
 // priority, submission order within a priority level.
 func dispatchOrder(jobs []Job) []int {
@@ -165,6 +190,7 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) []Result {
 	exec := dispatchOrder(jobs)
 	workers := e.workerCount(len(jobs))
 	sem := e.semaphore()
+	e.pending.Add(int64(len(jobs)))
 	runStart := time.Now()
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -192,11 +218,14 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) []Result {
 				// blocks under cross-batch contention.
 				select {
 				case sem <- struct{}{}:
+					e.running.Add(1)
 					results[i] = e.runJob(jctx, i, jobs[i])
+					e.running.Add(-1)
 					<-sem
 				case <-jctx.Done():
 					results[i] = Result{Job: i, Name: jobs[i].Name, Err: jctx.Err()}
 				}
+				e.pending.Add(-1)
 				if cancel != nil {
 					cancel()
 				}

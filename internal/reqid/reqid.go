@@ -1,0 +1,81 @@
+// Package reqid carries request identifiers across the fill fleet.
+// The coordinator mints one ID per incoming request, the HTTP client
+// forwards it on every hop, and workers echo it in responses and
+// access logs, so one grep correlates a request's path through every
+// node it touched.
+package reqid
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log"
+	"net/http"
+	"time"
+)
+
+// Header is the HTTP header the fleet propagates request IDs in.
+const Header = "X-Request-ID"
+
+// New returns a fresh 16-hex-character request ID.
+func New() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero ID
+		// still correlates within one request if it somehow does.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+type ctxKey struct{}
+
+// With returns a context carrying the request ID.
+func With(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// From returns the context's request ID, or "" when none was set.
+func From(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}
+
+// Middleware wraps an HTTP handler with the fleet's request-ID
+// contract: an incoming Header value is echoed on the response (and
+// minted when absent), carried on the request context for downstream
+// hops, and — when logger is non-nil — written in one access-log line
+// per request (method, path, status, duration, ID). Both the worker
+// and the coordinator serve through this, so their logs correlate.
+func Middleware(logger *log.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(Header)
+		if id == "" {
+			id = New()
+		}
+		w.Header().Set(Header, id)
+		r = r.WithContext(With(r.Context(), id))
+		if logger == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		logger.Printf("%s %s %d %.2fms rid=%s",
+			r.Method, r.URL.Path, sw.status,
+			float64(time.Since(start).Microseconds())/1000, id)
+	})
+}
+
+// statusWriter records the status code written through it, for access
+// logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/reqid"
+)
+
+// TestRequestIDEchoedAndMinted pins the worker half of the fleet's
+// request-ID contract: an incoming X-Request-ID comes back on the
+// response, and a request without one gets a fresh ID.
+func TestRequestIDEchoedAndMinted(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{"cubes":["0X","X1"]}`
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/fill", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(reqid.Header, "rid-worker-9")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(reqid.Header); got != "rid-worker-9" {
+		t.Fatalf("echoed request ID %q, want rid-worker-9", got)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/fill", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if minted := resp.Header.Get(reqid.Header); len(minted) != 16 {
+		t.Fatalf("minted request ID %q, want 16 hex chars", minted)
+	}
+}
+
+// TestAccessLogCarriesRequestID: with Config.Log set, every request
+// writes one line naming method, path, status and the request ID.
+func TestAccessLogCarriesRequestID(t *testing.T) {
+	var buf bytes.Buffer
+	s := New(Config{Log: log.New(&buf, "", 0)})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/fill", strings.NewReader(`{"cubes":["012"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(reqid.Header, "rid-log-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	line := buf.String()
+	for _, want := range []string{"POST", "/v1/fill", "400", "rid=rid-log-1"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("access log %q missing %q", line, want)
+		}
+	}
+}
+
+// TestStatsExposesEngineOccupancy: /stats carries the engine queue
+// depth, in-flight count and worker bound the coordinator ranks by.
+func TestStatsExposesEngineOccupancy(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 3})
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.QueueDepth != 0 || st.InFlight != 0 {
+		t.Fatalf("idle server reports occupancy: %+v", st)
+	}
+	if st.EngineWorkers != 3 {
+		t.Fatalf("engine_workers = %d, want 3", st.EngineWorkers)
+	}
+}

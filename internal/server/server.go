@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"net/http"
 	"time"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/fill"
 	"repro/internal/order"
+	"repro/internal/reqid"
 )
 
 // Config tunes a Server. The zero value is valid: every limit gets a
@@ -66,6 +68,11 @@ type Config struct {
 	// ShutdownGrace bounds how long Serve waits for in-flight requests
 	// after its context is cancelled (default 5s).
 	ShutdownGrace time.Duration
+	// Log, when non-nil, receives one access-log line per request:
+	// method, path, status, duration and the request ID, so fleet
+	// operators can correlate a request across coordinator and worker
+	// logs. nil disables access logging.
+	Log *log.Logger
 }
 
 // withDefaults resolves every unset field.
@@ -132,11 +139,19 @@ func New(cfg Config) *Server {
 }
 
 // Handler returns the service's HTTP handler, for embedding under a
-// custom mux or an httptest server.
-func (s *Server) Handler() http.Handler { return s.mux }
+// custom mux or an httptest server. Every request passes through
+// reqid.Middleware: an incoming X-Request-ID is echoed in the
+// response (and minted when absent), carried on the request context,
+// and written to the access log when Config.Log is set.
+func (s *Server) Handler() http.Handler {
+	return reqid.Middleware(s.cfg.Log, s.mux)
+}
 
 // Stats returns a snapshot of the serving statistics.
-func (s *Server) Stats() Stats { return s.met.snapshot(s.cache.Len()) }
+func (s *Server) Stats() Stats {
+	queued, inflight := s.eng.Load()
+	return s.met.snapshot(s.cache.Len(), queued, inflight, s.eng.Bound())
+}
 
 // Serve accepts connections on l until ctx is cancelled, then shuts
 // down gracefully: in-flight requests get ShutdownGrace to finish. It

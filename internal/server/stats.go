@@ -27,6 +27,13 @@ type Stats struct {
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	// CacheEntries is the current LRU entry count.
 	CacheEntries int `json:"cache_entries"`
+	// QueueDepth and InFlight are the engine's live occupancy: jobs
+	// accepted but waiting for a worker slot, and jobs executing right
+	// now. EngineWorkers is the machine-wide worker bound they are
+	// measured against. A cluster coordinator ranks workers by these.
+	QueueDepth    int `json:"queue_depth"`
+	InFlight      int `json:"inflight"`
+	EngineWorkers int `json:"engine_workers"`
 	// P50Millis/P99Millis are per-job latency percentiles over the
 	// most recent LatencySamples jobs.
 	P50Millis float64 `json:"p50_ms"`
@@ -94,9 +101,10 @@ func (m *metrics) observeError() {
 	m.errors++
 }
 
-// snapshot renders the current statistics. cacheEntries is passed in
-// so metrics stays decoupled from the cache implementation.
-func (m *metrics) snapshot(cacheEntries int) Stats {
+// snapshot renders the current statistics. cacheEntries and the
+// engine occupancy are passed in so metrics stays decoupled from the
+// cache and engine implementations.
+func (m *metrics) snapshot(cacheEntries, queued, inflight, workers int) Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st := Stats{
@@ -106,6 +114,9 @@ func (m *metrics) snapshot(cacheEntries int) Stats {
 		CacheHits:      m.cacheHits,
 		CacheMisses:    m.cacheMisses,
 		CacheEntries:   cacheEntries,
+		QueueDepth:     queued,
+		InFlight:       inflight,
+		EngineWorkers:  workers,
 		LatencySamples: m.latCount,
 	}
 	if total := m.cacheHits + m.cacheMisses; total > 0 {

@@ -25,6 +25,8 @@ package repro
 import (
 	"repro/internal/atpg"
 	"repro/internal/circuit"
+	"repro/internal/client"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/cube"
 	"repro/internal/engine"
@@ -81,8 +83,30 @@ type (
 	// body-size limits, per-request deadlines, result cache size.
 	ServerConfig = server.Config
 	// ServerStats is the service's /stats payload (jobs served, cache
-	// hit rate, latency percentiles).
+	// hit rate, latency percentiles, engine queue depth).
 	ServerStats = server.Stats
+	// FillRequest and FillResponse are the /v1/fill payload pair;
+	// FillBatchRequest and FillBatchResponse the /v1/batch pair. They
+	// are shared by the server, the client and the cluster.
+	FillRequest       = server.FillRequest
+	FillResponse      = server.FillResponse
+	FillBatchRequest  = server.BatchRequest
+	FillBatchResponse = server.BatchResponse
+	// FillClient is the typed HTTP client for the dpfilld/dpfill-coord
+	// API: fill/batch/grid plus health and stats, with retries,
+	// backoff and request-ID propagation.
+	FillClient = client.Client
+	// FillClientConfig tunes a FillClient (base URL, retry policy).
+	FillClientConfig = client.Config
+	// Cluster is the fill-fleet coordinator (cmd/dpfill-coord): it
+	// shards batches across dpfilld workers behind the same /v1/* API.
+	Cluster = cluster.Coordinator
+	// ClusterConfig tunes a Cluster: worker URLs, heartbeat policy,
+	// shard size, hedging, local fallback.
+	ClusterConfig = cluster.Config
+	// ClusterStats is the coordinator's /stats payload (fleet health,
+	// shards, retries, hedges, fallbacks).
+	ClusterStats = cluster.Stats
 )
 
 // Trit values.
@@ -129,6 +153,19 @@ func BatchErr(results []BatchResult) error { return engine.FirstErr(results) }
 // with Server.ListenAndServe (graceful shutdown on context cancel) or
 // mount Server.Handler under an existing mux.
 func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// NewFillClient returns a typed client for a dpfilld worker or a
+// dpfill-coord fleet — the two speak the same API, so callers are
+// topology-agnostic.
+func NewFillClient(cfg FillClientConfig) (*FillClient, error) { return client.New(cfg) }
+
+// NewCluster returns the fill-fleet coordinator: it health-checks the
+// configured dpfilld workers by heartbeat, shards /v1/batch workloads
+// across them least-loaded-first with per-shard failover and optional
+// hedging, and re-exposes the worker API plus fleet-level /healthz
+// and /stats. Serve it with Cluster.ListenAndServe, or mount
+// Cluster.Handler and drive heartbeats with Cluster.Run.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
 
 // Fills returns the named X-filling algorithms of the paper's tables:
 // "MT-fill", "R-fill", "0-fill", "1-fill", "B-fill", "DP-fill" via
