@@ -12,11 +12,18 @@
 //
 // Endpoints:
 //
-//	POST /v1/fill   one cube set, routed to the least-loaded worker
-//	POST /v1/batch  many jobs, sharded across the fleet
-//	POST /v1/grid   every Table II-IV filler on one set, proxied
-//	GET  /healthz   coordinator liveness + admitted worker count
-//	GET  /stats     fleet view: shards, retries, hedges, per-worker load
+//	POST   /v1/fill      one cube set, routed to the least-loaded worker
+//	POST   /v1/batch     many jobs, sharded across the fleet
+//	POST   /v1/grid      every Table II-IV filler on one set, proxied
+//	POST   /v1/jobs      submit a batch asynchronously -> job ID (202)
+//	GET    /v1/jobs      list retained async jobs
+//	GET    /v1/jobs/{id} async job status/progress/result
+//	DELETE /v1/jobs/{id} cancel an async job
+//	GET    /healthz      coordinator liveness + admitted worker count
+//	GET    /stats        fleet view: shards, retries, hedges, per-worker load
+//
+// Async jobs shard across the fleet exactly like synchronous batches;
+// with -data-dir they are journaled and survive a coordinator restart.
 //
 // With no reachable workers the coordinator answers on a local
 // in-process engine unless -fallback=false. The daemon shuts down
@@ -81,6 +88,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	maxBatch := fs.Int("max-batch", 256, "largest accepted job count per batch")
 	grace := fs.Duration("grace", 5*time.Second, "graceful shutdown window")
 	accessLog := fs.Bool("access-log", false, "log one line per request (with X-Request-ID) to stderr")
+	dataDir := fs.String("data-dir", "", "journal async jobs here so they survive restarts (empty = memory only)")
+	maxJobs := fs.Int("max-jobs", 256, "largest accepted async job backlog before 429")
+	jobRetention := fs.Int("job-retention", 256, "settled async jobs kept queryable")
+	jobWorkers := fs.Int("job-workers", 1, "async jobs dispatched concurrently")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -105,6 +116,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		MaxBatchJobs:    *maxBatch,
 		ShutdownGrace:   *grace,
 		Log:             logger,
+		DataDir:         *dataDir,
+		MaxQueuedJobs:   *maxJobs,
+		JobRetention:    *jobRetention,
+		JobWorkers:      *jobWorkers,
 	})
 	if err != nil {
 		return err

@@ -65,7 +65,12 @@ func startDaemon(t *testing.T, ctx context.Context, out *syncBuffer, args ...str
 // points the daemon at it, and runs a fill end to end through the
 // coordinator's HTTP surface.
 func TestCoordinatorDaemonFrontsWorker(t *testing.T) {
-	worker := httptest.NewServer(server.New(server.Config{Workers: 2}).Handler())
+	srv, err := server.New(server.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	worker := httptest.NewServer(srv.Handler())
 	t.Cleanup(worker.Close)
 
 	ctx, cancel := context.WithCancel(context.Background())

@@ -10,6 +10,7 @@
 //	dpfill -jobs a.txt,b.stil -workers 4 -outdir filled/
 //	dpfill -order i -fill dp a.txt b.txt c.txt
 //	dpfill -server http://fill-coord:8090 a.txt b.txt
+//	dpfill -server http://fill-coord:8090 -async a.txt b.txt
 //
 // With more than one input (via -jobs, repeated, and/or positional
 // arguments) the files are processed as a batch on the concurrent fill
@@ -20,7 +21,11 @@
 // With -server URL nothing is filled locally: inputs are read here and
 // submitted to a dpfilld worker or a dpfill-coord fleet through the
 // typed API client, in both single and batch mode (-grid then runs the
-// server-side filler grid under the one -order'ed ordering).
+// server-side filler grid under the one -order'ed ordering). Adding
+// -async routes the work through the server's persistent job queue
+// (POST /v1/jobs): job IDs print immediately, results are polled for,
+// and a server running with -data-dir finishes accepted jobs even
+// across its own restart.
 //
 // Orderings: tool, xstat, i, isa. Fills: mt, r, 0, 1, b, adj, xstat, dp.
 package main
@@ -34,6 +39,7 @@ import (
 	"path/filepath"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"repro/internal/cube"
 	"repro/internal/engine"
@@ -75,8 +81,18 @@ func run(args []string, stdout io.Writer) error {
 	workers := fs.Int("workers", 0, "batch engine worker bound (0 = GOMAXPROCS)")
 	outdir := fs.String("outdir", "", "directory for batch-mode filled sets")
 	serverURL := fs.String("server", "", "dpfilld/dpfill-coord base URL: submit jobs there instead of filling locally")
+	async := fs.Bool("async", false, "with -server: submit through the async job API (/v1/jobs) and poll for the result")
+	poll := fs.Duration("poll", 100*time.Millisecond, "async job poll interval")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *async {
+		switch {
+		case *serverURL == "":
+			return fmt.Errorf("-async needs -server: jobs are queued on a dpfilld worker or a dpfill-coord fleet")
+		case *grid:
+			return fmt.Errorf("-async is fill-only; -grid has no async API")
+		}
 	}
 	explicit := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
@@ -94,7 +110,10 @@ func run(args []string, stdout io.Writer) error {
 		case len(inputs) == 0:
 			return fmt.Errorf("batch mode needs input files (-jobs or arguments)")
 		}
-		if *serverURL != "" {
+		switch {
+		case *serverURL != "" && *async:
+			return runRemoteAsyncBatch(stdout, *serverURL, inputs, *ordName, *fillName, *seed, *outdir, *poll)
+		case *serverURL != "":
 			return runRemoteBatch(stdout, *serverURL, inputs, *ordName, *fillName, *seed, *outdir)
 		}
 		return runBatch(stdout, inputs, *ordName, *fillName, *seed, *workers, *outdir)
@@ -105,6 +124,18 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("both -in %s and argument %s given; pass one input, or use batch mode for several", *in, inputs[0])
 		}
 		*in = inputs[0]
+	}
+
+	// A single input through the async job API runs as a one-job batch
+	// (stdin has no stable path to re-read, so it stays synchronous).
+	if *async {
+		if *in == "-" {
+			return fmt.Errorf("-async needs file inputs; stdin is submit-and-forget-unsafe")
+		}
+		if explicit["o"] {
+			return fmt.Errorf("-o is synchronous-only; use -outdir with -async")
+		}
+		return runRemoteAsyncBatch(stdout, *serverURL, []string{*in}, *ordName, *fillName, *seed, *outdir, *poll)
 	}
 
 	var r io.Reader = os.Stdin

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"repro/internal/client"
 	"repro/internal/cube"
@@ -106,18 +107,11 @@ func runRemoteGrid(stdout io.Writer, serverURL string, r io.Reader, path, ordNam
 	return nil
 }
 
-// runRemoteBatch submits every input as one /v1/batch and prints the
-// same per-job table as local batch mode. Unreadable inputs become
-// pre-failed rows without aborting the rest, matching local
-// semantics; the first failure is returned after the whole report.
-func runRemoteBatch(stdout io.Writer, serverURL string, inputs []string, ordName, fillName string, seed int64, outdir string) error {
-	c, err := client.New(client.Config{BaseURL: serverURL})
-	if err != nil {
-		return err
-	}
-	items := make([]client.BatchItem, len(inputs))
-	var jobs []client.FillRequest
-	var jobIdx []int // jobs[k] answers items[jobIdx[k]]
+// readRemoteJobs reads every input into a fill request. Unreadable
+// inputs become pre-failed items without aborting the rest, matching
+// local semantics; jobs[k] answers items[jobIdx[k]].
+func readRemoteJobs(inputs []string, ordName, fillName string, seed int64, omitCubes bool) (items []client.BatchItem, jobs []client.FillRequest, jobIdx []int) {
+	items = make([]client.BatchItem, len(inputs))
 	for i, path := range inputs {
 		f, err := os.Open(path)
 		if err != nil {
@@ -134,16 +128,29 @@ func runRemoteBatch(stdout io.Writer, serverURL string, inputs []string, ordName
 		req.Orderer = ordName
 		req.Filler = fillName
 		req.Seed = seed
-		req.OmitCubes = outdir == ""
+		req.OmitCubes = omitCubes
 		jobs = append(jobs, req)
 		jobIdx = append(jobIdx, i)
 	}
-	// Chunk to the server's default batch limit so job counts beyond
-	// it still run, mirroring local mode's no-ceiling batch engine. A
-	// chunk that fails wholesale (fleet unreachable, oversized reply)
-	// fails only its own rows — the other chunks still answer, which
-	// is the per-job isolation local mode gives.
-	const chunkSize = 256
+	return items, jobs, jobIdx
+}
+
+// chunkSize mirrors the server's default batch limit so job counts
+// beyond it still run, like local mode's no-ceiling batch engine.
+const chunkSize = 256
+
+// runRemoteBatch submits every input as one /v1/batch and prints the
+// same per-job table as local batch mode. A chunk that fails
+// wholesale (fleet unreachable, oversized reply) fails only its own
+// rows — the other chunks still answer, which is the per-job
+// isolation local mode gives. The first failure is returned after the
+// whole report.
+func runRemoteBatch(stdout io.Writer, serverURL string, inputs []string, ordName, fillName string, seed int64, outdir string) error {
+	c, err := client.New(client.Config{BaseURL: serverURL})
+	if err != nil {
+		return err
+	}
+	items, jobs, jobIdx := readRemoteJobs(inputs, ordName, fillName, seed, outdir == "")
 	for lo := 0; lo < len(jobs); lo += chunkSize {
 		hi := min(lo+chunkSize, len(jobs))
 		chunk := jobs[lo:hi]
@@ -164,6 +171,72 @@ func runRemoteBatch(stdout io.Writer, serverURL string, inputs []string, ordName
 			}
 		}
 	}
+	return reportRemoteBatch(stdout, serverURL, inputs, items, ordName, fillName, outdir)
+}
+
+// runRemoteAsyncBatch is batch mode over the async job API: every
+// chunk is submitted through POST /v1/jobs, the job IDs are printed
+// immediately, and the results are polled for — so a worker or
+// coordinator restart mid-run does not lose the work (the server
+// journals accepted jobs when it runs with -data-dir).
+func runRemoteAsyncBatch(stdout io.Writer, serverURL string, inputs []string, ordName, fillName string, seed int64, outdir string, poll time.Duration) error {
+	c, err := client.New(client.Config{BaseURL: serverURL})
+	if err != nil {
+		return err
+	}
+	items, jobs, jobIdx := readRemoteJobs(inputs, ordName, fillName, seed, outdir == "")
+	type submitted struct {
+		id     string
+		lo, hi int // chunk bounds into jobs/jobIdx
+	}
+	var subs []submitted
+	for lo := 0; lo < len(jobs); lo += chunkSize {
+		hi := min(lo+chunkSize, len(jobs))
+		st, err := c.SubmitJob(context.Background(), client.BatchRequest{Jobs: jobs[lo:hi]})
+		if err != nil {
+			for k := lo; k < hi; k++ {
+				items[jobIdx[k]] = client.BatchItem{Error: err.Error()}
+			}
+			continue
+		}
+		fmt.Fprintf(stdout, "submitted job %s (%d inputs, %s)\n", st.ID, hi-lo, st.State)
+		subs = append(subs, submitted{id: st.ID, lo: lo, hi: hi})
+	}
+	for _, sub := range subs {
+		fail := func(msg string) {
+			for k := sub.lo; k < sub.hi; k++ {
+				items[jobIdx[k]] = client.BatchItem{Error: msg}
+			}
+		}
+		st, err := c.WaitJob(context.Background(), sub.id, poll)
+		if err != nil {
+			fail(err.Error())
+			continue
+		}
+		if st.State != "done" {
+			fail(fmt.Sprintf("job %s ended %s: %s", st.ID, st.State, st.Error))
+			continue
+		}
+		resp, err := client.JobBatchResult(st)
+		if err != nil {
+			fail(err.Error())
+			continue
+		}
+		if len(resp.Results) != sub.hi-sub.lo {
+			fail(fmt.Sprintf("job %s answered %d results for %d inputs", sub.id, len(resp.Results), sub.hi-sub.lo))
+			continue
+		}
+		for k, it := range resp.Results {
+			items[jobIdx[sub.lo+k]] = it
+		}
+	}
+	return reportRemoteBatch(stdout, serverURL, inputs, items, ordName, fillName, outdir)
+}
+
+// reportRemoteBatch renders the per-job table shared by the sync and
+// async remote batch paths, writes -outdir outputs, and returns the
+// first failure after the whole report.
+func reportRemoteBatch(stdout io.Writer, serverURL string, inputs []string, items []client.BatchItem, ordName, fillName, outdir string) error {
 	if outdir != "" {
 		if err := os.MkdirAll(outdir, 0o755); err != nil {
 			return err

@@ -14,7 +14,12 @@ import (
 // startWorker mounts a real fill service for remote-mode tests.
 func startWorker(t *testing.T) string {
 	t.Helper()
-	ts := httptest.NewServer(server.New(server.Config{Workers: 2}).Handler())
+	srv, err := server.New(server.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return ts.URL
 }

@@ -5,15 +5,23 @@
 //
 // Usage:
 //
-//	dpfilld -addr :8080 -workers 8 -cache 512
+//	dpfilld -addr :8080 -workers 8 -cache 512 -data-dir /var/lib/dpfill
 //
 // Endpoints (see internal/server for the request/response schema):
 //
-//	POST /v1/fill   one cube set -> filled set + toggle statistics
-//	POST /v1/batch  many jobs, one engine batch, per-job isolation
-//	POST /v1/grid   every Table II-IV filler on one set
-//	GET  /healthz   liveness
-//	GET  /stats     jobs served, cache hit rate, p50/p99 latency
+//	POST   /v1/fill      one cube set -> filled set + toggle statistics
+//	POST   /v1/batch     many jobs, one engine batch, per-job isolation
+//	POST   /v1/grid      every Table II-IV filler on one set
+//	POST   /v1/jobs      submit a batch asynchronously -> job ID (202)
+//	GET    /v1/jobs      list retained async jobs
+//	GET    /v1/jobs/{id} async job status/progress/result
+//	DELETE /v1/jobs/{id} cancel an async job
+//	GET    /healthz      liveness
+//	GET    /stats        jobs served, cache hit rate, p50/p99 latency
+//
+// With -data-dir the async job queue is journaled there: a daemon
+// killed mid-job re-runs accepted work on restart and answers with the
+// same results the lost run would have produced.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, letting in-flight
 // requests finish.
@@ -55,6 +63,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "ceiling for requested deadlines")
 	grace := fs.Duration("grace", 5*time.Second, "graceful shutdown window")
 	accessLog := fs.Bool("access-log", false, "log one line per request (with X-Request-ID) to stderr")
+	dataDir := fs.String("data-dir", "", "journal async jobs here so they survive restarts (empty = memory only)")
+	maxJobs := fs.Int("max-jobs", 256, "largest accepted async job backlog before 429")
+	jobRetention := fs.Int("job-retention", 256, "settled async jobs kept queryable")
+	jobWorkers := fs.Int("job-workers", 1, "async jobs executed concurrently")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,7 +74,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if *accessLog {
 		logger = log.New(os.Stderr, "dpfilld ", log.LstdFlags|log.Lmsgprefix)
 	}
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Workers:        *workers,
 		CacheSize:      *cacheSize,
 		MaxRows:        *maxRows,
@@ -72,7 +84,14 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		MaxTimeout:     *maxTimeout,
 		ShutdownGrace:  *grace,
 		Log:            logger,
+		DataDir:        *dataDir,
+		MaxQueuedJobs:  *maxJobs,
+		JobRetention:   *jobRetention,
+		JobWorkers:     *jobWorkers,
 	})
+	if err != nil {
+		return err
+	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

@@ -96,7 +96,11 @@ func ExampleNewEngine() {
 // ListenAndServe with graceful shutdown (see cmd/dpfilld); here its
 // handler is mounted on a test server.
 func ExampleNewServer() {
-	srv := repro.NewServer(repro.ServerConfig{Workers: 2})
+	srv, err := repro.NewServer(repro.ServerConfig{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

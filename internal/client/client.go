@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/jobs"
 	"repro/internal/reqid"
 	"repro/internal/server"
 )
@@ -51,6 +52,10 @@ type (
 	GridResponse = server.GridResponse
 	// Stats is the GET /stats payload.
 	Stats = server.Stats
+	// JobStatus is an async job snapshot (the /v1/jobs/{id} payload).
+	JobStatus = jobs.Status
+	// JobState is an async job's lifecycle position.
+	JobState = jobs.State
 )
 
 // Config tunes a Client. Only BaseURL is required.
@@ -282,7 +287,8 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	if err != nil {
 		return fmt.Errorf("client: reading %s response: %w", path, err)
 	}
-	if resp.StatusCode != http.StatusOK {
+	// Any 2xx is a success: the async job API answers 202 Accepted.
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		msg := strings.TrimSpace(string(data))
 		var payload struct {
 			Error string `json:"error"`

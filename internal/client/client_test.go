@@ -16,9 +16,13 @@ import (
 // newTestPair mounts a real fill service and a client pointed at it.
 func newTestPair(t *testing.T, cfg Config) (*server.Server, *Client) {
 	t.Helper()
-	srv := server.New(server.Config{Workers: 2})
+	srv, err := server.New(server.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(func() { srv.Close() })
 	cfg.BaseURL = ts.URL
 	c, err := New(cfg)
 	if err != nil {
@@ -92,7 +96,11 @@ func TestBatchGridHealthzStats(t *testing.T) {
 
 func TestValidationErrorIsTerminal(t *testing.T) {
 	var hits atomic.Int64
-	srv := server.New(server.Config{})
+	srv, serr := server.New(server.Config{})
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	t.Cleanup(func() { srv.Close() })
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		hits.Add(1)
 		srv.Handler().ServeHTTP(w, r)
@@ -119,7 +127,11 @@ func TestValidationErrorIsTerminal(t *testing.T) {
 // the real service answers.
 func TestRetriesOverloadThenSucceeds(t *testing.T) {
 	var hits atomic.Int64
-	srv := server.New(server.Config{})
+	srv, serr := server.New(server.Config{})
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	t.Cleanup(func() { srv.Close() })
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if hits.Add(1) <= 2 {
 			http.Error(w, `{"error":"overloaded"}`, http.StatusServiceUnavailable)
@@ -211,7 +223,11 @@ func TestContextCancellationNotRetried(t *testing.T) {
 // error responses.
 func TestRequestIDPropagation(t *testing.T) {
 	var seen atomic.Value
-	srv := server.New(server.Config{})
+	srv, serr := server.New(server.Config{})
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	t.Cleanup(func() { srv.Close() })
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		seen.Store(r.Header.Get(reqid.Header))
 		srv.Handler().ServeHTTP(w, r)

@@ -1,0 +1,109 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// Async job API. A dpfilld worker and a dpfill-coord coordinator
+// expose the same /v1/jobs surface, so these calls are
+// topology-agnostic like the synchronous ones.
+
+// SubmitJob submits a batch asynchronously through POST /v1/jobs and
+// returns the accepted job's snapshot (its ID is what everything else
+// keys on). A full queue answers an APIError with status 429.
+//
+// Unlike every other call, SubmitJob never retries: the server
+// journals an accepted job before answering, so resending after a
+// lost 202 would journal — and run — a duplicate. A caller that
+// retries a failed submit explicitly accepts that a duplicate may
+// already be queued.
+func (c *Client) SubmitJob(ctx context.Context, req BatchRequest) (*JobStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding /v1/jobs request: %w", err)
+	}
+	var out JobStatus
+	if err := c.attempt(ctx, http.MethodPost, "/v1/jobs", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Job fetches one job's status/progress/result via GET /v1/jobs/{id}.
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	var out JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Jobs lists every retained job, newest first, without result
+// payloads.
+func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
+	var out jobs.StatusList
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+// CancelJob cancels a queued or running job via DELETE /v1/jobs/{id}.
+// A settled job answers an APIError with status 409.
+func (c *Client) CancelJob(ctx context.Context, id string) (*JobStatus, error) {
+	var out JobStatus
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WaitJob polls GET /v1/jobs/{id} every poll interval (default 100ms
+// when <= 0) until the job settles or ctx fires, and returns the
+// terminal snapshot. A worker restart mid-wait is survived naturally:
+// polls fail while the daemon is down, and the first successful poll
+// after WAL replay sees the job back in flight (or settled).
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*JobStatus, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err == nil && st.State.Terminal() {
+			return st, nil
+		}
+		if err != nil && !Retryable(err) {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			if err == nil {
+				err = ctx.Err()
+			}
+			return nil, fmt.Errorf("client: waiting for job %s: %w", id, err)
+		case <-t.C:
+		}
+	}
+}
+
+// JobBatchResult decodes a settled job's result into the BatchResponse
+// the same request would have received through POST /v1/batch.
+func JobBatchResult(st *JobStatus) (*BatchResponse, error) {
+	if st.State != jobs.StateDone {
+		return nil, fmt.Errorf("client: job %s is %s, not done", st.ID, st.State)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(st.Result, &out); err != nil {
+		return nil, &ProtocolError{Path: "/v1/jobs/" + st.ID, Err: err}
+	}
+	return &out, nil
+}

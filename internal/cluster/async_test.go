@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/jobs"
+)
+
+// TestAsyncJobParityThroughCoordinator pins the fleet half of the
+// async contract: a batch submitted through the coordinator's
+// /v1/jobs — sharded across a worker exactly like a synchronous batch
+// — answers byte-identically (cubes, peak, total, error slots) to a
+// single-node run. Run under -race by CI.
+func TestAsyncJobParityThroughCoordinator(t *testing.T) {
+	w := newChaosWorker(t)
+	co := newTestCoordinator(t, Config{ShardSize: 2}, w)
+	waitHealthy(t, co, 1)
+	c := coordClient(t, co)
+
+	req := randomBatch(9)
+	want := localExpected(t, req)
+	st, err := c.SubmitJob(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "queued" && st.State != "running" && st.State != "done" {
+		t.Fatalf("submit snapshot state %q", st.State)
+	}
+	final, err := c.WaitJob(context.Background(), st.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != "done" {
+		t.Fatalf("job ended %s: %s", final.State, final.Error)
+	}
+	got, err := client.JobBatchResult(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBatchParity(t, got, want, req)
+	if w.batchHits.Load() == 0 {
+		t.Fatal("async job never reached the fleet")
+	}
+
+	// The job is listed, and cancelling it now is a 409 conflict.
+	list, err := c.Jobs(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Fatalf("job listing: %+v", list)
+	}
+	if _, err := c.CancelJob(context.Background(), st.ID); err == nil {
+		t.Fatal("cancelled a settled job")
+	}
+}
+
+// TestCoordinatorJobJournalSurvivesRestart pins the coordinator's WAL:
+// a job settled before a restart answers from its journaled result; a
+// job killed mid-flight re-runs and re-shards over the live fleet.
+func TestCoordinatorJobJournalSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	w := newChaosWorker(t)
+	req := randomBatch(4)
+	want := localExpected(t, req)
+
+	co1 := newTestCoordinator(t, Config{DataDir: dir}, w)
+	waitHealthy(t, co1, 1)
+	c1 := coordClient(t, co1)
+	st, err := c1.SubmitJob(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	settled, err := c1.WaitJob(context.Background(), st.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	co2 := newTestCoordinator(t, Config{DataDir: dir}, w)
+	waitHealthy(t, co2, 1)
+	c2 := coordClient(t, co2)
+	replayed, err := c2.Job(context.Background(), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.State != "done" {
+		t.Fatalf("replayed job state %s, want done", replayed.State)
+	}
+	if string(replayed.Result) != string(settled.Result) {
+		t.Fatalf("replayed result differs from the recorded one:\n%s\nvs\n%s",
+			replayed.Result, settled.Result)
+	}
+	got, err := client.JobBatchResult(replayed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBatchParity(t, got, want, req)
+}
+
+// TestReplayedJobWaitsForFleetAdmission pins the startup ordering: a
+// job journaled as unsettled (accepted, never finished — a coordinator
+// killed mid-flight) must not re-run before the first heartbeat sweep
+// has admitted the fleet. With fallback disabled, a premature re-run
+// would dispatch into an all-unhealthy registry and journal a
+// permanent "no healthy workers" failure as the job's final answer;
+// the Start gate holds the job workers until Run's first sweep.
+func TestReplayedJobWaitsForFleetAdmission(t *testing.T) {
+	dir := t.TempDir()
+	w := newChaosWorker(t)
+	req := randomBatch(4)
+	want := localExpected(t, req)
+
+	// Journal an accepted-but-unsettled job the way a killed
+	// coordinator leaves one behind: a gated manager accepts (and
+	// fsyncs) the submit but its workers never start.
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := jobs.Open(jobs.Config{
+		Runner: func(context.Context, json.RawMessage) (json.RawMessage, error) {
+			t.Error("gated manager ran the job")
+			return nil, nil
+		},
+		Dir:   dir,
+		Start: make(chan struct{}), // never released
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Submit(payload, len(req.Jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	co := newTestCoordinator(t, Config{DataDir: dir, DisableFallback: true}, w)
+	c := coordClient(t, co)
+	final, err := c.WaitJob(context.Background(), st.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != "done" {
+		t.Fatalf("replayed job ended %s (%s): it ran before the fleet was admitted", final.State, final.Error)
+	}
+	got, err := client.JobBatchResult(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBatchParity(t, got, want, req)
+	if w.batchHits.Load() == 0 {
+		t.Fatal("replayed job never reached the fleet")
+	}
+}
+
+// TestAsyncJobValidationThroughCoordinator: the coordinator applies
+// the same submit validation as its synchronous batch handler.
+func TestAsyncJobValidationThroughCoordinator(t *testing.T) {
+	co := newTestCoordinator(t, Config{MaxBatchJobs: 2})
+	c := coordClient(t, co)
+	_, err := c.SubmitJob(context.Background(), client.BatchRequest{})
+	if !isAPIStatus(err, 400) {
+		t.Fatalf("empty submit: %v, want 400", err)
+	}
+	_, err = c.SubmitJob(context.Background(), client.BatchRequest{Jobs: make([]client.FillRequest, 3)})
+	if !isAPIStatus(err, 400) {
+		t.Fatalf("oversized submit: %v, want 400", err)
+	}
+	_, err = c.Job(context.Background(), "absent")
+	if !isAPIStatus(err, 404) {
+		t.Fatalf("unknown job: %v, want 404", err)
+	}
+}
+
+// isAPIStatus reports whether err is an APIError with the status.
+func isAPIStatus(err error, status int) bool {
+	var api *client.APIError
+	return errors.As(err, &api) && api.Status == status
+}

@@ -39,7 +39,12 @@ type chaosWorker struct {
 
 func newChaosWorker(t *testing.T) *chaosWorker {
 	t.Helper()
-	w := &chaosWorker{srv: server.New(server.Config{Workers: 2})}
+	srv, err := server.New(server.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	w := &chaosWorker{srv: srv}
 	w.ts = httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
 		if w.dead.Load() {
 			hijackClose(rw)
@@ -108,6 +113,7 @@ func newTestCoordinator(t *testing.T, cfg Config, workers ...*chaosWorker) *Coor
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { co.Close() })
 	ctx, cancel := context.WithCancel(context.Background())
 	t.Cleanup(cancel)
 	go co.Run(ctx)
@@ -180,7 +186,12 @@ func randomBatch(jobs int) client.BatchRequest {
 // ground truth the cluster must match byte for byte.
 func localExpected(t *testing.T, req client.BatchRequest) *client.BatchResponse {
 	t.Helper()
-	lc, err := newLocalClient(server.New(server.Config{}))
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	lc, err := newLocalClient(srv)
 	if err != nil {
 		t.Fatal(err)
 	}

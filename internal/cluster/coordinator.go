@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/jobs"
 	"repro/internal/reqid"
 	"repro/internal/server"
 )
@@ -78,6 +79,20 @@ type Config struct {
 	// above the longest legitimate batch when rolling restarts must
 	// not truncate callers.
 	ShutdownGrace time.Duration
+	// DataDir, when set, persists the coordinator's async job queue
+	// (/v1/jobs) to a write-ahead log there: accepted jobs survive a
+	// coordinator restart and re-shard across whatever fleet is alive
+	// then. Empty keeps the async API in memory only.
+	DataDir string
+	// MaxQueuedJobs bounds async jobs accepted but not yet settled;
+	// submits past it answer 429 (default 256).
+	MaxQueuedJobs int
+	// JobRetention bounds how many settled async jobs stay queryable
+	// (default 256).
+	JobRetention int
+	// JobWorkers is how many async jobs dispatch concurrently
+	// (default 1; each job's batch already fans out across the fleet).
+	JobWorkers int
 	// Log, when non-nil, receives access-log and dispatch-event lines
 	// tagged with each request's X-Request-ID.
 	Log *log.Logger
@@ -107,13 +122,18 @@ func (c Config) withDefaults() Config {
 
 // Coordinator shards fill workloads across a dpfilld fleet behind the
 // same /v1/* API the workers themselves serve. Construct with New;
-// run heartbeats with Run or Serve.
+// run heartbeats with Run or Serve; stop the async job workers with
+// Close when the Coordinator is discarded without going through Serve.
 type Coordinator struct {
-	cfg   Config
-	reg   *registry
-	local *client.Client // in-process fallback; nil when disabled
-	met   *metrics
-	mux   *http.ServeMux
+	cfg      Config
+	reg      *registry
+	local    *client.Client // in-process fallback; nil when disabled
+	localSrv *server.Server // backing service of local; nil when disabled
+	jobs     *jobs.Manager
+	jobsGate chan struct{} // closed after Run's first heartbeat sweep
+	jobsOnce sync.Once     // concurrent Run calls close the gate once
+	met      *metrics
+	mux      *http.ServeMux
 }
 
 // New builds a Coordinator over the configured fleet. Workers start
@@ -135,10 +155,37 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	co := &Coordinator{cfg: cfg, reg: reg, met: newMetrics()}
 	if !cfg.DisableFallback {
-		co.local, err = newLocalClient(server.New(cfg.Local))
+		co.localSrv, err = server.New(cfg.Local)
 		if err != nil {
 			return nil, err
 		}
+		co.local, err = newLocalClient(co.localSrv)
+		if err != nil {
+			co.localSrv.Close()
+			return nil, err
+		}
+	}
+	// The coordinator's async jobs run through batchThrough, so a job
+	// shards across the fleet exactly like a synchronous batch — and a
+	// journaled job replayed after a restart re-shards across whatever
+	// fleet is alive at replay time. The Start gate holds the job
+	// workers until Run's first heartbeat sweep has admitted the
+	// fleet: without it a replayed job would dispatch against zero
+	// healthy workers and mis-route to the local fallback (or fail).
+	co.jobsGate = make(chan struct{})
+	co.jobs, err = jobs.Open(jobs.Config{
+		Runner:    jobs.RunJSON(co.batchThrough),
+		Dir:       cfg.DataDir,
+		MaxQueued: cfg.MaxQueuedJobs,
+		Retention: cfg.JobRetention,
+		Workers:   cfg.JobWorkers,
+		Start:     co.jobsGate,
+	})
+	if err != nil {
+		if co.localSrv != nil {
+			co.localSrv.Close()
+		}
+		return nil, err
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/fill", co.handleFill)
@@ -146,14 +193,35 @@ func New(cfg Config) (*Coordinator, error) {
 	mux.HandleFunc("POST /v1/grid", co.handleGrid)
 	mux.HandleFunc("GET /healthz", co.handleHealthz)
 	mux.HandleFunc("GET /stats", co.handleStats)
+	jobs.Mount(mux, co.jobs, co.decodeJobSubmit)
 	co.mux = mux
 	return co, nil
 }
 
+// Close stops the async job workers (journaled jobs resume on the
+// next New over the same DataDir) and the local fallback service.
+func (co *Coordinator) Close() error {
+	err := co.jobs.Close()
+	if co.localSrv != nil {
+		if serr := co.localSrv.Close(); err == nil {
+			err = serr
+		}
+	}
+	return err
+}
+
 // Run drives the registry's heartbeat loop until ctx is cancelled.
 // Serve calls it internally; call it directly when mounting Handler
-// under an external HTTP server.
-func (co *Coordinator) Run(ctx context.Context) { co.reg.run(ctx) }
+// under an external HTTP server. Async job execution starts here too:
+// the job workers are released only after the first sweep has
+// admitted the fleet, so a journaled job replayed across a restart
+// re-shards over live workers instead of dispatching into an
+// all-unhealthy registry.
+func (co *Coordinator) Run(ctx context.Context) {
+	co.reg.run(ctx, func() {
+		co.jobsOnce.Do(func() { close(co.jobsGate) })
+	})
+}
 
 // errNoWorkers means dispatch found no admitted worker to try.
 var errNoWorkers = errors.New("cluster: no healthy workers")

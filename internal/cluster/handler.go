@@ -86,8 +86,11 @@ func (co *Coordinator) Handler() http.Handler {
 }
 
 // Serve runs the heartbeat loop and accepts connections on l until
-// ctx is cancelled, then shuts down gracefully.
+// ctx is cancelled, then shuts down gracefully: in-flight requests
+// get ShutdownGrace and the async job workers are stopped (journaled
+// jobs resume on the next start).
 func (co *Coordinator) Serve(ctx context.Context, l net.Listener) error {
+	defer co.Close()
 	hctx, stop := context.WithCancel(ctx)
 	defer stop()
 	go co.Run(hctx)
@@ -138,16 +141,27 @@ func (co *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !co.decode(w, r, &req) {
 		return
 	}
+	if !co.validateBatch(w, req) {
+		return
+	}
+	writeJSON(w, http.StatusOK, co.batchThrough(r.Context(), req))
+}
+
+// validateBatch applies the batch shape limits shared by the
+// synchronous handler and async job submission, answering the request
+// itself (and returning false) on violation — so a future limit change
+// cannot diverge between the two admission paths.
+func (co *Coordinator) validateBatch(w http.ResponseWriter, req client.BatchRequest) bool {
 	if len(req.Jobs) == 0 {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "batch carries no jobs"})
-		return
+		return false
 	}
 	if len(req.Jobs) > co.cfg.MaxBatchJobs {
 		writeJSON(w, http.StatusBadRequest,
 			errorResponse{Error: fmt.Sprintf("%d jobs exceed the batch limit %d", len(req.Jobs), co.cfg.MaxBatchJobs)})
-		return
+		return false
 	}
-	writeJSON(w, http.StatusOK, co.batchThrough(r.Context(), req))
+	return true
 }
 
 func (co *Coordinator) handleGrid(w http.ResponseWriter, r *http.Request) {
@@ -197,6 +211,25 @@ func (co *Coordinator) decode(w http.ResponseWriter, r *http.Request, v any) boo
 		return false
 	}
 	return true
+}
+
+// decodeJobSubmit validates a POST /v1/jobs body — the same
+// BatchRequest schema and limits the synchronous batch handler
+// applies — and returns the canonical payload the job journal stores.
+func (co *Coordinator) decodeJobSubmit(w http.ResponseWriter, r *http.Request) (json.RawMessage, int, bool) {
+	var req client.BatchRequest
+	if !co.decode(w, r, &req) {
+		return nil, 0, false
+	}
+	if !co.validateBatch(w, req) {
+		return nil, 0, false
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return nil, 0, false
+	}
+	return payload, len(req.Jobs), true
 }
 
 // writeError maps a dispatch failure to its HTTP status: worker API

@@ -123,9 +123,14 @@ func newRegistry(cfg RegistryConfig, urls []string, mkClient func(string) (*clie
 
 // run sweeps heartbeats until ctx is cancelled, starting with an
 // immediate sweep so a fresh coordinator admits its fleet without
-// waiting a full interval.
-func (r *registry) run(ctx context.Context) {
+// waiting a full interval. afterFirst, when non-nil, fires once the
+// initial sweep completes — the hook that releases work gated on the
+// fleet being admitted.
+func (r *registry) run(ctx context.Context, afterFirst func()) {
 	r.sweep(ctx)
+	if afterFirst != nil {
+		afterFirst()
+	}
 	t := time.NewTicker(r.cfg.HeartbeatInterval)
 	defer t.Stop()
 	for {

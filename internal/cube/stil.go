@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strings"
 )
 
 // WriteSTIL serializes the set in a minimal STIL-flavoured pattern
@@ -12,9 +13,19 @@ import (
 // vectors is emitted: a SignalGroups header naming the flat scan-input
 // bus and one Pattern statement per cube. Don't-cares use STIL's 'N'.
 //
+// An empty or width-0 set is an error: it has no representable signal
+// range (the header would degenerate to si[0..-1]) and ReadSTIL would
+// reject the output anyway.
+//
 // The output is for interoperability demos and golden files; ReadSTIL
 // parses the same subset back.
 func WriteSTIL(w io.Writer, s *Set, design string) error {
+	if s == nil || s.Len() == 0 {
+		return fmt.Errorf("stil: cannot serialize an empty cube set")
+	}
+	if s.Width <= 0 {
+		return fmt.Errorf("stil: cannot serialize width-%d cubes: no signal range", s.Width)
+	}
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "STIL 1.0;\n")
 	fmt.Fprintf(bw, "Header { Title %q; }\n", design)
@@ -44,19 +55,33 @@ func stilString(c Cube) string {
 }
 
 // ReadSTIL parses the subset WriteSTIL emits and returns the cube set.
-// It is intentionally strict: anything outside the emitted shape is an
-// error, so golden files cannot drift silently.
+// It is intentionally strict, so golden files cannot drift silently:
+// a Signals header declaring si[0..N] pins the vector width to N+1 and
+// every vector is checked against it; a vector line must carry the
+// complete "V<i>: V { all = <vector>; }" statement (a truncated line
+// is an error, not a shorter vector); and an empty vector is an error
+// rather than a width-0 set. All diagnostics carry the line number.
 func ReadSTIL(r io.Reader) (*Set, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
 	var set *Set
 	line := 0
 	inPattern := false
+	declared := 0 // vector width pinned by the Signals header; 0 = none
 	for sc.Scan() {
 		line++
 		text := sc.Text()
 		switch {
 		case !inPattern:
+			// "Signals " (with the space) cannot match the SignalGroups
+			// line, whose keyword has no separator before '{'.
+			if hasPrefixTrim(text, "Signals ") {
+				w, err := parseSignalsWidth(text, line)
+				if err != nil {
+					return nil, err
+				}
+				declared = w
+			}
 			if hasPrefixTrim(text, "Pattern ") {
 				inPattern = true
 			}
@@ -67,13 +92,10 @@ func ReadSTIL(r io.Reader) (*Set, error) {
 			}
 			return set, nil
 		}
-		// "  V3: V { all = 01N0; }"
-		var idx int
-		var vec string
-		if _, err := fmt.Sscanf(text, "  V%d: V { all = %s", &idx, &vec); err != nil {
-			return nil, fmt.Errorf("stil: line %d: %v", line, err)
+		vec, err := parseVectorLine(text, line)
+		if err != nil {
+			return nil, err
 		}
-		vec = trimSuffixSemicolon(vec)
 		c := make(Cube, 0, len(vec))
 		for _, r := range vec {
 			switch r {
@@ -86,6 +108,9 @@ func ReadSTIL(r io.Reader) (*Set, error) {
 			default:
 				return nil, fmt.Errorf("stil: line %d: bad symbol %q", line, r)
 			}
+		}
+		if declared > 0 && len(c) != declared {
+			return nil, fmt.Errorf("stil: line %d: vector width %d does not match declared signal width %d", line, len(c), declared)
 		}
 		if set == nil {
 			set = NewSet(len(c))
@@ -101,16 +126,61 @@ func ReadSTIL(r io.Reader) (*Set, error) {
 	return nil, fmt.Errorf("stil: unterminated pattern block")
 }
 
+// parseSignalsWidth extracts the declared vector width from a
+// "Signals { si[0..N] In; }" header line. A header that does not carry
+// a well-formed, non-empty si range is an error: silently ignoring it
+// would un-pin the width check the header exists to provide.
+func parseSignalsWidth(text string, line int) (int, error) {
+	t := strings.TrimSpace(text)
+	t = strings.TrimPrefix(t, "Signals")
+	t = strings.TrimSpace(t)
+	t, ok := strings.CutPrefix(t, "{")
+	if !ok {
+		return 0, fmt.Errorf("stil: line %d: malformed Signals header", line)
+	}
+	var hi int
+	if _, err := fmt.Sscanf(strings.TrimSpace(t), "si[0..%d]", &hi); err != nil {
+		return 0, fmt.Errorf("stil: line %d: malformed Signals header: %v", line, err)
+	}
+	if hi < 0 {
+		return 0, fmt.Errorf("stil: line %d: signal range si[0..%d] is empty", line, hi)
+	}
+	return hi + 1, nil
+}
+
+// parseVectorLine extracts the vector symbols from a complete
+// "V<i>: V { all = <vector>; }" statement. Anything less — a missing
+// index, a truncated tail, an empty vector — is a line-numbered error.
+func parseVectorLine(text string, line int) (string, error) {
+	t := strings.Trim(text, " \t")
+	rest, ok := strings.CutPrefix(t, "V")
+	if !ok {
+		return "", fmt.Errorf("stil: line %d: expected a V<i> vector statement", line)
+	}
+	digits := 0
+	for digits < len(rest) && rest[digits] >= '0' && rest[digits] <= '9' {
+		digits++
+	}
+	if digits == 0 {
+		return "", fmt.Errorf("stil: line %d: vector statement is missing its index", line)
+	}
+	rest, ok = strings.CutPrefix(rest[digits:], ": V { all = ")
+	if !ok {
+		return "", fmt.Errorf("stil: line %d: malformed vector statement", line)
+	}
+	vec, ok := strings.CutSuffix(rest, "; }")
+	if !ok {
+		return "", fmt.Errorf("stil: line %d: truncated vector statement (missing \"; }\")", line)
+	}
+	if vec == "" {
+		return "", fmt.Errorf("stil: line %d: empty vector", line)
+	}
+	return vec, nil
+}
+
 func hasPrefixTrim(s, prefix string) bool {
 	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t') {
 		s = s[1:]
 	}
 	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
-}
-
-func trimSuffixSemicolon(s string) string {
-	for len(s) > 0 && (s[len(s)-1] == ';' || s[len(s)-1] == ' ' || s[len(s)-1] == '}') {
-		s = s[:len(s)-1]
-	}
-	return s
 }

@@ -27,6 +27,17 @@ func FuzzParseSTIL(f *testing.F) {
 	f.Add("no pattern block at all")
 	f.Add("")
 	f.Add("Pattern p {\n  V0: V { all = 01;")
+	// Rejection neighbours of the strictness rules: declared-width
+	// mismatch, degenerate signal range, malformed header, truncated
+	// vector statements, missing index.
+	f.Add("Signals { si[0..3] In; }\nPattern p {\n  V0: V { all = 01; }\n}\n")
+	f.Add("Signals { si[0..1] In; }\nPattern p {\n  V0: V { all = 01; }\n}\n")
+	f.Add("Signals { si[0..-1] In; }\nPattern p {\n  V0: V { all = 0; }\n}\n")
+	f.Add("Signals { nonsense }\nPattern p {\n  V0: V { all = 0; }\n}\n")
+	f.Add("Pattern p {\n  V0: V { all = 01\n}\n")
+	f.Add("Pattern p {\n  V0: V { all = 01;\n}\n")
+	f.Add("Pattern p {\n  V0: V { all = 01; \n}\n")
+	f.Add("Pattern p {\n  V: V { all = 01; }\n}\n")
 
 	f.Fuzz(func(t *testing.T, input string) {
 		set, err := ReadSTIL(strings.NewReader(input))

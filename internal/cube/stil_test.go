@@ -34,13 +34,78 @@ func TestReadSTILErrors(t *testing.T) {
 		"Pattern p {\n",               // unterminated
 		"Pattern p {\n}\n",            // empty
 		"Pattern p {\n  garbage\n}\n", // unparsable vector line
-		"Pattern p {\n  V0: V { all = 0Z; }\n}\n",                         // bad symbol
-		"Pattern p {\n  V0: V { all = 01; }\n  V1: V { all = 011; }\n}\n", // ragged
+		"Pattern p {\n  V0: V { all = 0Z; }\n}\n",                           // bad symbol
+		"Pattern p {\n  V0: V { all = 01; }\n  V1: V { all = 011; }\n}\n",   // ragged
+		"Pattern p {\n  V0: V { all = ; }\n}\n",                             // empty vector
+		"Pattern p {\n  V0: V { all = 01\n}\n",                              // truncated statement
+		"Pattern p {\n  V0: V { all = 01;\n}\n",                             // truncated close
+		"Pattern p {\n  V: V { all = 01; }\n}\n",                            // missing index
+		"Signals { si[0..2] In; }\nPattern p {\n  V0: V { all = 01; }\n}\n", // width vs header
+		"Signals { si[0..-1] In; }\nPattern p {\n  V0: V { all = 0; }\n}\n", // empty signal range
+		"Signals { garbage }\nPattern p {\n  V0: V { all = 0; }\n}\n",       // malformed header
 	}
 	for _, src := range cases {
 		if _, err := ReadSTIL(strings.NewReader(src)); err == nil {
 			t.Errorf("accepted %q", src)
 		}
+	}
+}
+
+func TestReadSTILErrorsCarryLineNumbers(t *testing.T) {
+	cases := map[string]string{
+		"Pattern p {\n  V0: V { all = 01; }\n  V1: V { all = 0\n}\n":        "line 3",
+		"Signals { si[0..4] In; }\nPattern p {\n  V0: V { all = 01; }\n}\n": "line 3",
+		"Signals { si[0..-1] In; }\nPattern p {\n  V0: V { all = 0; }\n}\n": "line 1",
+		"Pattern p {\n  V0: V { all = ; }\n}\n":                             "line 2",
+	}
+	for src, want := range cases {
+		_, err := ReadSTIL(strings.NewReader(src))
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("error %v does not name %s for %q", err, want, src)
+		}
+	}
+}
+
+func TestReadSTILEnforcesDeclaredWidth(t *testing.T) {
+	// The matching header parses fine...
+	src := "Signals { si[0..2] In; }\nPattern p {\n  V0: V { all = 01N; }\n}\n"
+	s, err := ReadSTIL(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Width != 3 || s.Len() != 1 {
+		t.Fatalf("parsed %dx%d, want 1x3", s.Len(), s.Width)
+	}
+	// ...and the first mismatched vector is rejected, even when the
+	// vectors are self-consistent with each other.
+	bad := "Signals { si[0..4] In; }\nPattern p {\n  V0: V { all = 01N; }\n  V1: V { all = 111; }\n}\n"
+	if _, err := ReadSTIL(strings.NewReader(bad)); err == nil {
+		t.Fatal("accepted vectors narrower than the declared signal range")
+	}
+}
+
+func TestWriteSTILRejectsEmptySet(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteSTIL(&sb, NewSet(4), "empty"); err == nil {
+		t.Fatal("serialized a cube-less set")
+	}
+	if err := WriteSTIL(&sb, &Set{Width: 0, Cubes: []Cube{{}}}, "w0"); err == nil {
+		t.Fatal("serialized a width-0 set (si[0..-1] signal range)")
+	}
+	if sb.Len() != 0 {
+		t.Fatalf("rejected sets still produced output: %q", sb.String())
+	}
+	// The smallest legal set still round-trips.
+	s := MustParseSet("X")
+	if err := WriteSTIL(&sb, s, "one"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSTIL(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(got) {
+		t.Fatalf("1x1 round trip mismatch: %v vs %v", s, got)
 	}
 }
 

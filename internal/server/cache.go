@@ -5,20 +5,37 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"slices"
 	"sync"
 
 	"repro/internal/cube"
 )
 
-// cachedFill is one memoized fill outcome. Entries are shared across
-// requests and must be treated as immutable: render handlers copy what
-// they serialize and never write through these pointers.
+// cachedFill is one memoized fill outcome. The cache owns its entries
+// outright: Put stores a deep copy and Get hands one back, so no live
+// *cube.Set or slice pointer is ever shared between the cache and a
+// response being served — a handler (present or future) mutating what
+// it serializes cannot poison the answer every later request gets.
 type cachedFill struct {
 	Filled  *cube.Set
 	Perm    []int
 	Peak    int
 	Total   int
 	Profile []int
+}
+
+// clone deep-copies the entry, nil sub-fields preserved.
+func (e *cachedFill) clone() *cachedFill {
+	out := &cachedFill{
+		Perm:    slices.Clone(e.Perm),
+		Peak:    e.Peak,
+		Total:   e.Total,
+		Profile: slices.Clone(e.Profile),
+	}
+	if e.Filled != nil {
+		out.Filled = e.Filled.Clone()
+	}
+	return out
 }
 
 // fillDigest keys the cache on everything that determines a fill
@@ -64,7 +81,8 @@ func newLRUCache(capacity int) *lruCache {
 	}
 }
 
-// Get returns the entry for key and marks it most recently used.
+// Get returns a private deep copy of the entry for key and marks it
+// most recently used: the caller may do anything with the result.
 func (c *lruCache) Get(key string) (*cachedFill, bool) {
 	if c == nil {
 		return nil, false
@@ -76,15 +94,17 @@ func (c *lruCache) Get(key string) (*cachedFill, bool) {
 		return nil, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*lruEntry).val, true
+	return el.Value.(*lruEntry).val.clone(), true
 }
 
-// Put inserts or refreshes key, evicting the least recently used entry
-// when the cache is full.
+// Put inserts or refreshes key with a deep copy of v — the caller
+// keeps sole ownership of what it passed in — evicting the least
+// recently used entry when the cache is full.
 func (c *lruCache) Put(key string, v *cachedFill) {
 	if c == nil {
 		return
 	}
+	v = v.clone()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {

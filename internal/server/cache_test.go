@@ -12,8 +12,9 @@ func TestLRUCacheEviction(t *testing.T) {
 	a, b, d := &cachedFill{Peak: 1}, &cachedFill{Peak: 2}, &cachedFill{Peak: 3}
 	c.Put("a", a)
 	c.Put("b", b)
-	// Touch "a" so "b" is the eviction victim.
-	if got, ok := c.Get("a"); !ok || got != a {
+	// Touch "a" so "b" is the eviction victim. (The cache copies
+	// entries both ways, so identity is by value, not pointer.)
+	if got, ok := c.Get("a"); !ok || got.Peak != a.Peak {
 		t.Fatal("a missing before eviction")
 	}
 	c.Put("d", d)
@@ -24,7 +25,7 @@ func TestLRUCacheEviction(t *testing.T) {
 		t.Fatal("b survived eviction despite being least recently used")
 	}
 	for key, want := range map[string]*cachedFill{"a": a, "d": d} {
-		if got, ok := c.Get(key); !ok || got != want {
+		if got, ok := c.Get(key); !ok || got.Peak != want.Peak {
 			t.Fatalf("%s evicted or replaced", key)
 		}
 	}
@@ -33,8 +34,50 @@ func TestLRUCacheEviction(t *testing.T) {
 	if c.Len() != 2 {
 		t.Fatalf("len %d after refresh, want 2", c.Len())
 	}
-	if got, _ := c.Get("a"); got != d {
+	if got, _ := c.Get("a"); got.Peak != d.Peak {
 		t.Fatal("refresh did not replace the value")
+	}
+}
+
+func TestCacheEntriesDoNotAliasCallers(t *testing.T) {
+	c := newLRUCache(4)
+	entry := &cachedFill{
+		Filled:  cube.MustParseSet("0101", "1010"),
+		Perm:    []int{1, 0},
+		Peak:    4,
+		Total:   4,
+		Profile: []int{4},
+	}
+	c.Put("k", entry)
+	// Mutating what the caller passed to Put must not reach the cache.
+	entry.Filled.Cubes[0][0] = cube.One
+	entry.Perm[0] = 99
+	entry.Profile[0] = 99
+	served, ok := c.Get("k")
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	if served.Filled.Cubes[0][0] != cube.Zero || served.Perm[0] != 1 || served.Profile[0] != 4 {
+		t.Fatalf("Put aliased the caller's data: %+v", served)
+	}
+	// Mutating a served response must not reach the cache either.
+	served.Filled.Cubes[1][1] = cube.One
+	served.Perm[1] = 99
+	served.Profile[0] = 99
+	again, ok := c.Get("k")
+	if !ok {
+		t.Fatal("entry missing on second get")
+	}
+	if again.Filled.Cubes[1][1] != cube.Zero || again.Perm[1] != 0 || again.Profile[0] != 4 {
+		t.Fatalf("Get handed out a live pointer into the cache: %+v", again)
+	}
+}
+
+func TestCachedFillCloneHandlesNilFields(t *testing.T) {
+	e := &cachedFill{Peak: 7}
+	got := e.clone()
+	if got.Filled != nil || got.Perm != nil || got.Profile != nil || got.Peak != 7 {
+		t.Fatalf("clone of sparse entry: %+v", got)
 	}
 }
 

@@ -1,0 +1,28 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// decodeJobSubmit validates a POST /v1/jobs body — the same
+// BatchRequest schema and limits as POST /v1/batch — and returns the
+// canonical payload the job journal stores. Per-job resolution errors
+// are not checked here: they surface as per-item errors in the job's
+// result, exactly as the synchronous batch reports them.
+func (s *Server) decodeJobSubmit(w http.ResponseWriter, r *http.Request) (json.RawMessage, int, bool) {
+	var req BatchRequest
+	if !s.decode(w, r, &req) {
+		return nil, 0, false
+	}
+	if err := s.validateBatch(req); err != nil {
+		s.writeError(w, err)
+		return nil, 0, false
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		s.writeError(w, err)
+		return nil, 0, false
+	}
+	return payload, len(req.Jobs), true
+}

@@ -46,9 +46,13 @@ func TestRequestIDEchoedAndMinted(t *testing.T) {
 // writes one line naming method, path, status and the request ID.
 func TestAccessLogCarriesRequestID(t *testing.T) {
 	var buf bytes.Buffer
-	s := New(Config{Log: log.New(&buf, "", 0)})
+	s, err := New(Config{Log: log.New(&buf, "", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(func() { s.Close() })
 
 	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/fill", strings.NewReader(`{"cubes":["012"]}`))
 	if err != nil {

@@ -8,16 +8,23 @@
 //
 // Endpoints:
 //
-//	POST /v1/fill   one cube set -> filled set + toggle statistics
-//	POST /v1/batch  many jobs, one engine batch, per-job isolation
-//	POST /v1/grid   every Table II-IV filler on one set, rendered table
-//	GET  /healthz   liveness
-//	GET  /stats     jobs served, cache hit rate, p50/p99 latency
+//	POST   /v1/fill      one cube set -> filled set + toggle statistics
+//	POST   /v1/batch     many jobs, one engine batch, per-job isolation
+//	POST   /v1/grid      every Table II-IV filler on one set, rendered table
+//	POST   /v1/jobs      submit a batch asynchronously -> job ID (202)
+//	GET    /v1/jobs      list retained async jobs
+//	GET    /v1/jobs/{id} async job status/progress/result
+//	DELETE /v1/jobs/{id} cancel an async job
+//	GET    /healthz      liveness
+//	GET    /stats        jobs served, cache hit rate, p50/p99 latency
 //
 // Every request is validated against configurable shape and body-size
 // limits and runs under a per-request deadline derived from the
 // request context; Serve shuts down gracefully when its context is
-// cancelled.
+// cancelled. Async jobs run the exact same batch path as /v1/batch —
+// same validation, same cache, same engine — and, with Config.DataDir
+// set, survive a daemon restart through the internal/jobs write-ahead
+// log.
 package server
 
 import (
@@ -34,6 +41,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/exp"
 	"repro/internal/fill"
+	"repro/internal/jobs"
 	"repro/internal/order"
 	"repro/internal/reqid"
 )
@@ -68,6 +76,20 @@ type Config struct {
 	// ShutdownGrace bounds how long Serve waits for in-flight requests
 	// after its context is cancelled (default 5s).
 	ShutdownGrace time.Duration
+	// DataDir, when set, persists the async job queue (/v1/jobs) to a
+	// write-ahead log there: accepted jobs survive a daemon restart —
+	// settled ones answer from their journaled results, unsettled ones
+	// re-run. Empty keeps the async API in memory only.
+	DataDir string
+	// MaxQueuedJobs bounds async jobs accepted but not yet settled;
+	// submits past it answer 429 (default 256).
+	MaxQueuedJobs int
+	// JobRetention bounds how many settled async jobs stay queryable
+	// (default 256; the oldest are evicted first).
+	JobRetention int
+	// JobWorkers is how many async jobs execute concurrently (default
+	// 1 — strict FIFO; each batch already parallelizes on the engine).
+	JobWorkers int
 	// Log, when non-nil, receives one access-log line per request:
 	// method, path, status, duration and the request ID, so fleet
 	// operators can correlate a request across coordinator and worker
@@ -105,18 +127,23 @@ func (c Config) withDefaults() Config {
 }
 
 // Server is the HTTP fill service. Construct with New; the zero value
-// is not usable.
+// is not usable. Stop the async job workers with Close when the
+// Server is discarded without going through Serve.
 type Server struct {
 	cfg   Config
 	eng   *engine.Engine
 	cache *lruCache
 	met   *metrics
+	jobs  *jobs.Manager
 	mux   *http.ServeMux
 }
 
 // New returns a Server ready to serve via Handler, Serve or
-// ListenAndServe.
-func New(cfg Config) *Server {
+// ListenAndServe. With Config.DataDir set it replays the async job
+// journal first, so jobs accepted before a crash are re-run (or their
+// recorded results re-served) before traffic arrives; an unreadable
+// journal or data directory is the only error path.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	eng := cfg.Engine
 	if eng == nil {
@@ -128,15 +155,37 @@ func New(cfg Config) *Server {
 		cache: newLRUCache(cfg.CacheSize),
 		met:   newMetrics(),
 	}
+	// The async runner is the exact batch path /v1/batch uses;
+	// determinism of the fill algorithms makes this the crash
+	// contract: a job replayed after a daemon kill re-runs here and
+	// produces the same cubes, peak and total the lost run would have.
+	mgr, err := jobs.Open(jobs.Config{
+		Runner:    jobs.RunJSON(s.runBatch),
+		Dir:       cfg.DataDir,
+		MaxQueued: cfg.MaxQueuedJobs,
+		Retention: cfg.JobRetention,
+		Workers:   cfg.JobWorkers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.jobs = mgr
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/fill", s.handleFill)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/grid", s.handleGrid)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	jobs.Mount(mux, mgr, s.decodeJobSubmit)
 	s.mux = mux
-	return s
+	return s, nil
 }
+
+// Close stops the async job workers and the journal. Jobs still
+// queued or running stay accepted in the journal and resume on the
+// next New over the same DataDir. Serve calls Close on shutdown;
+// Handler-only embedders (tests, custom muxes) call it themselves.
+func (s *Server) Close() error { return s.jobs.Close() }
 
 // Handler returns the service's HTTP handler, for embedding under a
 // custom mux or an httptest server. Every request passes through
@@ -154,9 +203,11 @@ func (s *Server) Stats() Stats {
 }
 
 // Serve accepts connections on l until ctx is cancelled, then shuts
-// down gracefully: in-flight requests get ShutdownGrace to finish. It
-// returns nil after a clean shutdown.
+// down gracefully: in-flight requests get ShutdownGrace to finish and
+// the async job workers are stopped (journaled jobs resume on the
+// next start). It returns nil after a clean shutdown.
 func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	defer s.Close()
 	hs := &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -252,7 +303,9 @@ func finishFill(resp *FillResponse, entry *cachedFill, omitCubes, cached bool, e
 		resp.Cubes = cubeStrings(entry.Filled)
 	}
 	resp.Cached = cached
-	resp.DurationMillis = float64(elapsed.Microseconds()) / 1000
+	// Nanoseconds in float64: microsecond flooring would zero out
+	// cache-hit latencies entirely.
+	resp.DurationMillis = float64(elapsed.Nanoseconds()) / 1e6
 }
 
 // runFill answers one fill job: cache lookup, then one engine job.
@@ -305,21 +358,38 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	if len(req.Jobs) == 0 {
-		s.writeError(w, badRequestf("batch carries no jobs"))
+	if err := s.validateBatch(req); err != nil {
+		s.writeError(w, err)
 		return
+	}
+	writeJSON(w, http.StatusOK, s.runBatch(r.Context(), req))
+}
+
+// validateBatch applies the batch shape limits shared by the
+// synchronous handler and async job submission.
+func (s *Server) validateBatch(req BatchRequest) error {
+	if len(req.Jobs) == 0 {
+		return badRequestf("batch carries no jobs")
 	}
 	if len(req.Jobs) > s.cfg.MaxBatchJobs {
-		s.writeError(w, badRequestf("%d jobs exceed the batch limit %d", len(req.Jobs), s.cfg.MaxBatchJobs))
-		return
+		return badRequestf("%d jobs exceed the batch limit %d", len(req.Jobs), s.cfg.MaxBatchJobs)
 	}
+	return nil
+}
+
+// runBatch answers one batch: per-job resolve/cache/dedup, one engine
+// run, per-job failure isolation. It is the single execution path
+// behind both POST /v1/batch and the async /v1/jobs runner, which is
+// what makes an async job's result byte-identical (cubes, peak,
+// total) to the synchronous answer for the same request.
+func (s *Server) runBatch(ctx context.Context, req BatchRequest) *BatchResponse {
 	items := make([]BatchItem, len(req.Jobs))
 	resps := make([]FillResponse, len(req.Jobs))
 	starts := make([]time.Time, len(req.Jobs))
-	var jobs []engine.Job
-	var jobIdx []int                // jobs[k] answers items[jobIdx[k]]
-	var digests []string            // aligned with jobs
-	pending := make(map[string]int) // digest -> index into jobs
+	var engineJobs []engine.Job
+	var jobIdx []int                // engineJobs[k] answers items[jobIdx[k]]
+	var digests []string            // aligned with engineJobs
+	pending := make(map[string]int) // digest -> index into engineJobs
 	type dupRef struct{ item, job int }
 	var dups []dupRef
 	for i, jr := range req.Jobs {
@@ -348,13 +418,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			dups = append(dups, dupRef{item: i, job: k})
 			continue
 		}
-		pending[pendingKey] = len(jobs)
-		jobs = append(jobs, job)
+		pending[pendingKey] = len(engineJobs)
+		engineJobs = append(engineJobs, job)
 		jobIdx = append(jobIdx, i)
 		digests = append(digests, digest)
 	}
-	results := s.eng.Run(r.Context(), jobs)
-	entries := make([]*cachedFill, len(jobs))
+	results := s.eng.Run(ctx, engineJobs)
+	entries := make([]*cachedFill, len(engineJobs))
 	for k, res := range results {
 		i := jobIdx[k]
 		if res.Err != nil {
@@ -395,7 +465,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			failed++
 		}
 	}
-	writeJSON(w, http.StatusOK, BatchResponse{Results: items, Failed: failed})
+	return &BatchResponse{Results: items, Failed: failed}
 }
 
 func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
@@ -461,7 +531,7 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	}
 	durs := make([]float64, len(results))
 	for i, res := range results {
-		durs[i] = float64(res.Duration.Microseconds()) / 1000
+		durs[i] = float64(res.Duration.Nanoseconds()) / 1e6
 	}
 	_, best := row.Best()
 	writeJSON(w, http.StatusOK, GridResponse{

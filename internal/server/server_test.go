@@ -21,9 +21,13 @@ import (
 // newTestServer mounts a fresh service on an httptest server.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(func() { s.Close() })
 	return s, ts
 }
 
@@ -378,7 +382,10 @@ func TestHealthzAndStats(t *testing.T) {
 // answer requests until its context is cancelled, then return nil
 // after a clean shutdown.
 func TestServeGracefulShutdown(t *testing.T) {
-	s := New(Config{Workers: 1, ShutdownGrace: 2 * time.Second})
+	s, err := New(Config{Workers: 1, ShutdownGrace: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -409,7 +416,10 @@ func TestServeGracefulShutdown(t *testing.T) {
 }
 
 func TestListenAndServeBadAddr(t *testing.T) {
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := s.ListenAndServe(context.Background(), "256.256.256.256:1"); err == nil {
 		t.Fatal("unbindable address accepted")
 	}

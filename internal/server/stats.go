@@ -134,7 +134,10 @@ func (m *metrics) snapshot(cacheEntries, queued, inflight, workers int) Stats {
 
 // quantileMillis returns the nearest-rank q-quantile of the sorted
 // sample in milliseconds: index ceil(q*n)-1, so p99 over a window
-// with a single slow outlier actually surfaces it.
+// with a single slow outlier actually surfaces it. The conversion
+// starts from nanoseconds in float64 — integer-dividing to a coarser
+// unit first would floor every sample (sub-microsecond fills would
+// all report 0) and systematically under-report the rest.
 func quantileMillis(sorted []time.Duration, q float64) float64 {
 	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
 	if idx < 0 {
@@ -143,5 +146,5 @@ func quantileMillis(sorted []time.Duration, q float64) float64 {
 	if idx >= len(sorted) {
 		idx = len(sorted) - 1
 	}
-	return float64(sorted[idx].Microseconds()) / 1000
+	return float64(sorted[idx].Nanoseconds()) / 1e6
 }

@@ -1,0 +1,62 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQuantileMillisKeepsNanosecondPrecision(t *testing.T) {
+	// Sub-microsecond samples: integer µs conversion would floor every
+	// one of these to 0 ms.
+	sorted := []time.Duration{250 * time.Nanosecond, 500 * time.Nanosecond, 900 * time.Nanosecond}
+	if got, want := quantileMillis(sorted, 0.50), 0.0005; got != want {
+		t.Fatalf("p50 = %v ms, want %v (sub-microsecond sample floored)", got, want)
+	}
+	if got, want := quantileMillis(sorted, 0.99), 0.0009; got != want {
+		t.Fatalf("p99 = %v ms, want %v", got, want)
+	}
+	// A sample that is not a whole number of microseconds must keep its
+	// fractional part: 1.234567 ms exactly.
+	sorted = []time.Duration{1234567 * time.Nanosecond}
+	if got, want := quantileMillis(sorted, 0.50), 1.234567; got != want {
+		t.Fatalf("p50 = %v ms, want %v (microsecond flooring)", got, want)
+	}
+}
+
+func TestQuantileMillisNearestRank(t *testing.T) {
+	sorted := []time.Duration{
+		1 * time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond,
+		4 * time.Millisecond, 100 * time.Millisecond,
+	}
+	if got := quantileMillis(sorted, 0.50); got != 3 {
+		t.Fatalf("p50 = %v, want 3", got)
+	}
+	// p99 over 5 samples must surface the single slow outlier.
+	if got := quantileMillis(sorted, 0.99); got != 100 {
+		t.Fatalf("p99 = %v, want 100", got)
+	}
+	if got := quantileMillis(sorted[:1], 0.99); got != 1 {
+		t.Fatalf("single-sample p99 = %v, want 1", got)
+	}
+}
+
+func TestMetricsSnapshotPercentiles(t *testing.T) {
+	m := newMetrics()
+	// 49 fast jobs and one slow one: p50 stays fast, p99 (nearest rank
+	// ceil(0.99*50)-1 = 49) finds the outlier, and every
+	// sub-microsecond sample still registers.
+	for i := 0; i < 49; i++ {
+		m.observeJob(400*time.Nanosecond, false)
+	}
+	m.observeJob(2*time.Millisecond, true)
+	st := m.snapshot(0, 0, 0, 1)
+	if st.LatencySamples != 50 || st.JobsServed != 50 {
+		t.Fatalf("samples %d jobs %d, want 50/50", st.LatencySamples, st.JobsServed)
+	}
+	if st.P50Millis != 0.0004 {
+		t.Fatalf("p50 = %v ms, want 0.0004", st.P50Millis)
+	}
+	if st.P99Millis != 2 {
+		t.Fatalf("p99 = %v ms, want 2", st.P99Millis)
+	}
+}

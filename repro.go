@@ -31,6 +31,7 @@ import (
 	"repro/internal/cube"
 	"repro/internal/engine"
 	"repro/internal/fill"
+	"repro/internal/jobs"
 	"repro/internal/netgen"
 	"repro/internal/order"
 	"repro/internal/power"
@@ -93,9 +94,16 @@ type (
 	FillBatchRequest  = server.BatchRequest
 	FillBatchResponse = server.BatchResponse
 	// FillClient is the typed HTTP client for the dpfilld/dpfill-coord
-	// API: fill/batch/grid plus health and stats, with retries,
-	// backoff and request-ID propagation.
+	// API: fill/batch/grid, the async job API (SubmitJob/Job/WaitJob/
+	// CancelJob) plus health and stats, with retries, backoff and
+	// request-ID propagation.
 	FillClient = client.Client
+	// FillJobStatus is an async job snapshot: ID, lifecycle state,
+	// progress, and (once done) the journaled batch result.
+	FillJobStatus = jobs.Status
+	// FillJobState is an async job's lifecycle position (queued,
+	// running, done, failed, cancelled).
+	FillJobState = jobs.State
 	// FillClientConfig tunes a FillClient (base URL, retry policy).
 	FillClientConfig = client.Config
 	// Cluster is the fill-fleet coordinator (cmd/dpfill-coord): it
@@ -149,10 +157,13 @@ func BatchErr(results []BatchResult) error { return engine.FirstErr(results) }
 // and /v1/grid accept cube sets (inline matrices or STIL text) and
 // answer them through a shared batch engine worker pool, with an LRU
 // result cache, request validation against configurable limits,
-// per-request deadlines, and /healthz + /stats endpoints. Serve it
-// with Server.ListenAndServe (graceful shutdown on context cancel) or
-// mount Server.Handler under an existing mux.
-func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+// per-request deadlines, and /healthz + /stats endpoints. The async
+// job API (/v1/jobs) accepts batches for background execution and,
+// with ServerConfig.DataDir set, journals them so accepted work
+// survives a restart. Serve it with Server.ListenAndServe (graceful
+// shutdown on context cancel) or mount Server.Handler under an
+// existing mux and stop the job workers with Server.Close.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 
 // NewFillClient returns a typed client for a dpfilld worker or a
 // dpfill-coord fleet — the two speak the same API, so callers are
