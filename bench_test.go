@@ -397,7 +397,7 @@ func benchEngine(b *testing.B, workers int) {
 }
 
 func BenchmarkEngineBatchSerial(b *testing.B)   { benchEngine(b, 1) }
-func BenchmarkEngineBatch4Workers(b *testing.B) { benchEngine(b, 4) }
+func BenchmarkEngineBatchWorkers4(b *testing.B) { benchEngine(b, 4) }
 func BenchmarkEngineBatchMachine(b *testing.B)  { benchEngine(b, 0) }
 
 // shardBenchSet is wide enough (row-dominated) for the sharded stretch
@@ -440,8 +440,8 @@ func benchShardedFill(b *testing.B, shards int) {
 	}
 }
 
-func BenchmarkEngineShardedFillSerial(b *testing.B) { benchShardedFill(b, 1) }
-func BenchmarkEngineShardedFill4(b *testing.B)      { benchShardedFill(b, 4) }
+func BenchmarkEngineShardedFillSerial(b *testing.B)   { benchShardedFill(b, 1) }
+func BenchmarkEngineShardedFillWorkers4(b *testing.B) { benchShardedFill(b, 4) }
 
 func randomCubeSet(r *rand.Rand, width, n int, xProb float64) *cube.Set {
 	s := cube.NewSet(width)

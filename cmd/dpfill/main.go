@@ -41,6 +41,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/cube"
 	"repro/internal/engine"
 	"repro/internal/fill"
@@ -74,6 +75,7 @@ func run(args []string, stdout io.Writer) error {
 	out := fs.String("o", "", "write the filled set to this file")
 	ordName := fs.String("order", "tool", "ordering: tool|xstat|i|isa")
 	fillName := fs.String("fill", "dp", "fill: mt|r|0|1|b|adj|xstat|dp")
+	window := fs.Int("window", 0, "dp only: windowed DP-fill window size in vectors (>= 2; 0 = monolithic exact fill)")
 	seed := fs.Int64("seed", 1, "seed for randomized algorithms")
 	grid := fs.Bool("grid", false, "evaluate the full ordering x fill grid instead")
 	var jobs jobsFlag
@@ -92,6 +94,18 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("-async needs -server: jobs are queued on a dpfilld worker or a dpfill-coord fleet")
 		case *grid:
 			return fmt.Errorf("-async is fill-only; -grid has no async API")
+		}
+	}
+	if *window != 0 {
+		switch {
+		case *window < 2:
+			return fmt.Errorf("-window %d: must be >= 2", *window)
+		case *fillName != "dp":
+			return fmt.Errorf("-window only applies to -fill dp")
+		case *serverURL != "":
+			return fmt.Errorf("-window is local-only; remote fills take the window field of the HTTP fill API")
+		case *grid:
+			return fmt.Errorf("-window is fill-only; -grid has no windowed variant")
 		}
 	}
 	explicit := map[string]bool{}
@@ -116,7 +130,7 @@ func run(args []string, stdout io.Writer) error {
 		case *serverURL != "":
 			return runRemoteBatch(stdout, *serverURL, inputs, *ordName, *fillName, *seed, *outdir)
 		}
-		return runBatch(stdout, inputs, *ordName, *fillName, *seed, *workers, *outdir)
+		return runBatch(stdout, inputs, *ordName, *fillName, *window, *seed, *workers, *outdir)
 	}
 	// A single positional argument is shorthand for -in.
 	if len(inputs) == 1 {
@@ -174,6 +188,9 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *window != 0 {
+		fl = fill.DPWindowed(*window, core.Options{})
+	}
 	perm, err := ord.Order(set)
 	if err != nil {
 		return err
@@ -182,8 +199,9 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	peak, total, _ := filled.ToggleStats()
 	fmt.Fprintf(stdout, "%s + %s: peak input toggles = %d (total %d)\n",
-		ord.Name(), fl.Name(), filled.PeakToggles(), filled.TotalToggles())
+		ord.Name(), fl.Name(), peak, total)
 
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -222,7 +240,7 @@ func readCubeFile(path string) (*cube.Set, error) {
 // Failing jobs — unreadable inputs included — are reported inline
 // without aborting the rest; the first failure is returned after every
 // job has run.
-func runBatch(stdout io.Writer, inputs []string, ordName, fillName string, seed int64, workers int, outdir string) error {
+func runBatch(stdout io.Writer, inputs []string, ordName, fillName string, window int, seed int64, workers int, outdir string) error {
 	ord, err := order.ByName(ordName, seed)
 	if err != nil {
 		return err
@@ -232,6 +250,9 @@ func runBatch(stdout io.Writer, inputs []string, ordName, fillName string, seed 
 	fl, err := fill.ByNameSerial(fillName, seed)
 	if err != nil {
 		return err
+	}
+	if window != 0 {
+		fl = fill.DPWindowed(window, core.Options{Shards: 1})
 	}
 	// Read every input, isolating failures per job: unreadable files
 	// become pre-failed result rows, readable ones engine jobs.

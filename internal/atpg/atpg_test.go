@@ -408,7 +408,7 @@ func evalTritOracle(c *circuit.Circuit, g int, vals []cube.Trit) cube.Trit {
 	return eval3Region(c.Gates[g].Type, c.Gates[g].Fanin, vals)
 }
 
-func BenchmarkGenerateB04(b *testing.B) {
+func BenchmarkATPGGenerateB04(b *testing.B) {
 	p, _ := netgen.ProfileByName("b04")
 	c, err := netgen.Generate(p)
 	if err != nil {

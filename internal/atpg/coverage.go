@@ -28,12 +28,13 @@ func CoverageCurve(c *circuit.Circuit, set *cube.Set) ([]CoveragePoint, error) {
 	detected := make([]bool, len(faults))
 	count := 0
 	var curve []CoveragePoint
+	pr := cube.PackRows(set) // one pack; every batch loads from the planes
 	for base := 0; base < set.Len(); base += 64 {
 		hi := base + 64
 		if hi > set.Len() {
 			hi = set.Len()
 		}
-		if err := fs.ApplyBatch(set.Cubes[base:hi]); err != nil {
+		if err := fs.ApplyPackedRows(pr, base); err != nil {
 			return nil, err
 		}
 		for fi := range faults {

@@ -59,6 +59,13 @@ func (fs *FaultSim) ApplyBatch(cubes []cube.Cube) error {
 	return fs.good.ApplyCubes(cubes)
 }
 
+// ApplyPackedRows simulates the good machine for the up-to-64 cubes
+// starting at column base of the packed row planes — the repack-free
+// ApplyBatch for callers sweeping a whole set.
+func (fs *FaultSim) ApplyPackedRows(pr *cube.PackedRows, base int) error {
+	return fs.good.ApplyPackedRows(pr, base)
+}
+
 // Good returns the good-machine dual-rail engine (read-only use).
 func (fs *FaultSim) Good() *logicsim.DualRail { return fs.good }
 

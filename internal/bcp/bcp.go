@@ -17,7 +17,6 @@
 package bcp
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -113,48 +112,85 @@ func (inst *Instance) CheckColoring(colors []int) (int, error) {
 //
 // The paper states the T recurrence as an O(k²) table over interval
 // endpoints; we compute the equivalent window maximization with a rolling
-// row over colors, which is O(C²+k) time and O(C+k) memory for C colors
-// and k intervals. For every window start i the inner loop accumulates
-// T(i,j) incrementally from the sorted interval ends.
+// row over colors in O(C+k) memory for C colors and k intervals. Three
+// exact prunings cut the naive O(C²) window sweep down on the instances
+// DP-fill produces (lb well above 1, starts sparse in the color range):
+//
+//   - Empty starts: a window [i,j] with no interval starting at i
+//     contains the same intervals as [i+1,j] over one more color, so its
+//     bound is dominated and i is skipped outright.
+//   - Suffix break: every interval contained in [i,j] starts at or
+//     after i, so T(i,j) <= suffix(i). Once lb·(j-i+1) >= suffix(i) no
+//     wider window starting at i can beat lb, and the j sweep stops.
+//   - Fold horizon: the rolling row t[j] only needs folding out to
+//     lb·(j-i+1) < k, because lb is monotone non-decreasing, so every
+//     future read of t[j] (from a smaller i', before its own suffix
+//     break) lies strictly inside that horizon.
+//
+// Worst case stays O(C²+k); with a large bound lb the sweep per start is
+// O(k/lb). The bucket-and-row scratch comes from a sync.Pool so the
+// serving path's per-fill bound costs no steady-state allocation.
 func (inst *Instance) LowerBound() int {
-	if len(inst.Intervals) == 0 {
+	k := len(inst.Intervals)
+	if k == 0 {
 		return 0
 	}
 	c := inst.NumColors
+	sc := getLBScratch(c)
+	defer putLBScratch(sc)
 	// endsByStart[s] lists the End values of intervals starting at s,
 	// sorted ascending so a forward pointer can count "End <= j" cheaply.
-	endsByStart := make([][]int, c)
+	endsByStart := sc.ends
 	for _, iv := range inst.Intervals {
 		endsByStart[iv.Start] = append(endsByStart[iv.Start], iv.End)
 	}
 	for s := range endsByStart {
-		sort.Ints(endsByStart[s])
+		if len(endsByStart[s]) > 1 {
+			sort.Ints(endsByStart[s])
+		}
 	}
 
 	lb := 0
+	suffix := 0 // number of intervals with Start >= i
 	// t[j] carries T(i,j) for the current window start i. Iterating i
 	// downward lets us reuse T(i+1,j) and add the intervals with
 	// Start == i and End <= j via the sorted ends pointer.
-	t := make([]int, c)
+	t := sc.t
 	for i := c - 1; i >= 0; i-- {
 		ends := endsByStart[i]
+		if len(ends) == 0 {
+			continue // dominated by the window starting at the next start
+		}
+		suffix += len(ends)
+		// Evaluate windows [i,j] and fold the Start == i intervals
+		// into t in the same sweep: count = T(i,j) = T(i+1,j) + p is
+		// exactly the folded value the next (smaller) start needs, so
+		// one read-modify-write of t[j] serves both. Folding past the
+		// horizon is always sound (the horizon only licenses omitting
+		// writes); the evaluation break is the binding one since
+		// suffix(i) <= k.
 		p := 0
-		for j := i; j < c; j++ {
+		j := i
+		for ; j < c; j++ {
+			window := j - i + 1
+			if lb > 0 && lb*window >= suffix {
+				break // ceil(T/window) <= ceil(suffix/window) <= lb from here on
+			}
 			for p < len(ends) && ends[p] <= j {
 				p++
 			}
 			count := t[j] + p // T(i,j) = T(i+1,j) + |{Start==i, End<=j}|
-			// ceil(count / window)
-			window := j - i + 1
-			if b := (count + window - 1) / window; b > lb {
-				lb = b
+			t[j] = count
+			if count > lb*window {
+				lb = (count + window - 1) / window
 			}
 		}
-		// Fold the Start == i intervals into t so the next (smaller) i
-		// sees T(i,j); do it after the scan to keep t[j] = T(i+1,j)
-		// during the scan.
-		p = 0
-		for j := i; j < c; j++ {
+		// Keep folding out to the fold horizon, which can extend past
+		// the evaluation break.
+		for ; j < c; j++ {
+			if lb*(j-i+1) >= k {
+				break
+			}
 			for p < len(ends) && ends[p] <= j {
 				p++
 			}
@@ -164,23 +200,52 @@ func (inst *Instance) LowerBound() int {
 	return lb
 }
 
-// endHeap is a min-heap of interval indices ordered by interval End —
-// the "deadline" heap of Algorithm 2.
+// endHeap is a hand-rolled min-heap of interval indices ordered by
+// interval End — the "deadline" heap of Algorithm 2. It reproduces
+// container/heap's sift order exactly (so EDF tie-breaks, and with
+// them the assigned colors, are unchanged) without heap.Interface's
+// boxed Push/Pop values and indirect Less calls, which dominated the
+// solver's profile.
 type endHeap struct {
 	idx       []int
 	intervals []Interval
 }
 
-func (h *endHeap) Len() int { return len(h.idx) }
-func (h *endHeap) Less(i, j int) bool {
+func (h *endHeap) less(i, j int) bool {
 	return h.intervals[h.idx[i]].End < h.intervals[h.idx[j]].End
 }
-func (h *endHeap) Swap(i, j int)      { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
-func (h *endHeap) Push(x interface{}) { h.idx = append(h.idx, x.(int)) }
-func (h *endHeap) Pop() interface{} {
-	n := len(h.idx)
-	v := h.idx[n-1]
-	h.idx = h.idx[:n-1]
+
+func (h *endHeap) push(v int) {
+	h.idx = append(h.idx, v)
+	for i := len(h.idx) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.idx[i], h.idx[parent] = h.idx[parent], h.idx[i]
+		i = parent
+	}
+}
+
+func (h *endHeap) pop() int {
+	n := len(h.idx) - 1
+	h.idx[0], h.idx[n] = h.idx[n], h.idx[0]
+	v := h.idx[n]
+	h.idx = h.idx[:n]
+	for i := 0; ; {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && h.less(j2, j) {
+			j = j2
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h.idx[i], h.idx[j] = h.idx[j], h.idx[i]
+		i = j
+	}
 	return v
 }
 
@@ -215,10 +280,10 @@ func (inst *Instance) Assign(capacity int) ([]int, error) {
 	assigned := 0
 	for c := 0; c < inst.NumColors; c++ {
 		for _, i := range byStart[c] {
-			heap.Push(h, i)
+			h.push(i)
 		}
-		for picked := 0; picked < capacity && h.Len() > 0; picked++ {
-			i := heap.Pop(h).(int)
+		for picked := 0; picked < capacity && len(h.idx) > 0; picked++ {
+			i := h.pop()
 			if inst.Intervals[i].End < c {
 				return nil, fmt.Errorf("bcp: interval [%d,%d] missed its deadline at color %d (capacity %d too small)",
 					inst.Intervals[i].Start, inst.Intervals[i].End, c, capacity)

@@ -249,7 +249,7 @@ func TestPropertyLowerBoundIsABound(t *testing.T) {
 	}
 }
 
-func BenchmarkLowerBound(b *testing.B) {
+func BenchmarkBCPLowerBound(b *testing.B) {
 	r := rand.New(rand.NewSource(7))
 	inst := randomInstance(r, 500, 20000)
 	b.ResetTimer()
@@ -258,7 +258,7 @@ func BenchmarkLowerBound(b *testing.B) {
 	}
 }
 
-func BenchmarkAssign(b *testing.B) {
+func BenchmarkBCPAssign(b *testing.B) {
 	r := rand.New(rand.NewSource(7))
 	inst := randomInstance(r, 500, 20000)
 	lb := inst.LowerBound()

@@ -1,0 +1,47 @@
+package bcp
+
+import "sort"
+
+// lowerBoundRef is the unpruned Algorithm 1 sweep exactly as it stood
+// before the windowed prunings landed in LowerBound: the full O(C²+k)
+// rolling-row maximization with no empty-start skip, no suffix break
+// and no fold horizon. The differential tests pin LowerBound to it
+// bit-for-bit, so any pruning that is not exact fails loudly.
+func (inst *Instance) lowerBoundRef() int {
+	if len(inst.Intervals) == 0 {
+		return 0
+	}
+	c := inst.NumColors
+	endsByStart := make([][]int, c)
+	for _, iv := range inst.Intervals {
+		endsByStart[iv.Start] = append(endsByStart[iv.Start], iv.End)
+	}
+	for s := range endsByStart {
+		sort.Ints(endsByStart[s])
+	}
+
+	lb := 0
+	t := make([]int, c)
+	for i := c - 1; i >= 0; i-- {
+		ends := endsByStart[i]
+		p := 0
+		for j := i; j < c; j++ {
+			for p < len(ends) && ends[p] <= j {
+				p++
+			}
+			count := t[j] + p
+			window := j - i + 1
+			if b := (count + window - 1) / window; b > lb {
+				lb = b
+			}
+		}
+		p = 0
+		for j := i; j < c; j++ {
+			for p < len(ends) && ends[p] <= j {
+				p++
+			}
+			t[j] += p
+		}
+	}
+	return lb
+}

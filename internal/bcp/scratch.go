@@ -1,0 +1,43 @@
+package bcp
+
+import "sync"
+
+// lbScratch is the reusable working memory of LowerBound: the
+// start-bucketed end lists and the rolling T(i,j) row, both sized by
+// the color range. Pooled because the fill hot path computes one bound
+// per fill (plus one per Solve) and the buckets dominate its transient
+// allocation.
+//
+// Invariant at rest (in the pool): every entry of ends[:cap] has
+// length 0 and every entry of t[:cap] is 0, so getLBScratch only has
+// to re-slice. putLBScratch restores the invariant for the entries the
+// last use touched; entries beyond the current length were already
+// reset by the put that last used them.
+type lbScratch struct {
+	ends [][]int
+	t    []int
+}
+
+var lbPool = sync.Pool{New: func() any { return new(lbScratch) }}
+
+func getLBScratch(c int) *lbScratch {
+	sc := lbPool.Get().(*lbScratch)
+	if cap(sc.ends) < c || cap(sc.t) < c {
+		sc.ends = make([][]int, c)
+		sc.t = make([]int, c)
+	} else {
+		sc.ends = sc.ends[:c]
+		sc.t = sc.t[:c]
+	}
+	return sc
+}
+
+func putLBScratch(sc *lbScratch) {
+	for s := range sc.ends {
+		sc.ends[s] = sc.ends[s][:0]
+	}
+	for j := range sc.t {
+		sc.t[j] = 0
+	}
+	lbPool.Put(sc)
+}

@@ -73,7 +73,7 @@ func maxIntBCP(a, b int) int {
 	return b
 }
 
-func BenchmarkLowerBoundSparse(b *testing.B) {
+func BenchmarkBCPLowerBoundSparse(b *testing.B) {
 	r := rand.New(rand.NewSource(7))
 	inst := randomInstance(r, 500, 2000)
 	b.ResetTimer()

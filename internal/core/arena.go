@@ -1,0 +1,34 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/bcp"
+	"repro/internal/cube"
+)
+
+// fillArena holds the reusable per-job scratch of the fill hot path:
+// the two bit-packed row planes (the dominant allocation — 2 × m ×
+// ceil(n/64) words per fill) and the interval lists the scan and the
+// BCP reduction grow. A sync.Pool recycles arenas across fills so a
+// serving process under steady load reaches a fixed working set
+// instead of allocating and collecting planes on every request.
+//
+// Nothing reachable from a returned value may live in the arena:
+// output sets, Result.Profile and BCP colorings are always freshly
+// allocated.
+type fillArena struct {
+	pr     *cube.PackedRows
+	ivs    []ToggleInterval
+	bcpIvs []bcp.Interval
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(fillArena) }}
+
+func getArena() *fillArena { return arenaPool.Get().(*fillArena) }
+
+func putArena(a *fillArena) {
+	a.ivs = a.ivs[:0]
+	a.bcpIvs = a.bcpIvs[:0]
+	arenaPool.Put(a)
+}

@@ -157,20 +157,88 @@ type Result struct {
 // toggle count for that ordering, together with run statistics. The
 // input set is not modified.
 //
-// The stretch-extraction scan runs on the bit-packed row representation
-// and fans out across row shards sized to the machine; use FillWith to
-// pin the shard count. Every schedule produces byte-identical output.
+// The whole hot path is word-parallel on the bit-packed row planes:
+// the stretch-extraction scan (fanned out across row shards sized to
+// the machine; use FillWith to pin the shard count), the §V-D
+// reconstruction (two word-OR spans per interval instead of a per-trit
+// loop over a cloned set), and the toggle-profile verification
+// (XOR-shift + popcount). The planes themselves come from a sync.Pool
+// arena, so steady serving load reuses buffers instead of allocating
+// two m×⌈n/64⌉ planes per fill. Every schedule produces byte-identical
+// output, pinned against the per-trit reference path by differential
+// tests.
 func Fill(s *cube.Set) (*cube.Set, *Result, error) {
 	return FillWith(s, Options{})
 }
 
 // FillWith is Fill with explicit execution options.
 func FillWith(s *cube.Set, opt Options) (*cube.Set, *Result, error) {
-	return fillMapping(MapSharded(s, opt.Shards))
+	n := s.Len()
+	rows := s.Width
+	ar := getArena()
+	defer putArena(ar)
+	pr := cube.PackRowsInto(ar.pr, s)
+	ar.pr = pr
+	shards := resolveShards(opt.Shards, rows, rows*n)
+	ar.ivs = scanSharded(pr, shards, ar.ivs[:0])
+	intervals := ar.ivs
+
+	bcpIvs := ar.bcpIvs[:0]
+	forced := 0
+	for _, ti := range intervals {
+		bcpIvs = append(bcpIvs, ti.Interval())
+		if ti.RightCol == ti.LeftCol+1 {
+			forced++
+		}
+	}
+	ar.bcpIvs = bcpIvs
+	inst, err := bcp.NewInstance(maxInt(0, n-1), bcpIvs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: building BCP instance: %w", err)
+	}
+	sol, err := inst.Solve()
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: solving BCP: %w", err)
+	}
+
+	// §V-D reconstruction on the packed planes: the interval colored j
+	// toggles between vectors j and j+1, so columns LeftCol+1..j take
+	// the left care value and j+1..RightCol-1 its complement.
+	for i, ti := range intervals {
+		j := sol.Colors[i]
+		pr.FillSpan(ti.Row, ti.LeftCol+1, j, ti.LeftVal)
+		pr.FillSpan(ti.Row, j+1, ti.RightCol-1, ti.LeftVal.Neg())
+	}
+
+	profile := pr.ToggleProfile()
+	peak := 0
+	for _, v := range profile {
+		if v > peak {
+			peak = v
+		}
+	}
+	res := &Result{
+		Peak:         peak,
+		LowerBound:   sol.LowerBound,
+		NumIntervals: len(bcpIvs),
+		ForcedUnit:   forced,
+		Profile:      profile,
+	}
+	if res.Peak != sol.LowerBound {
+		// Cannot happen if the optimality theorem holds; guard anyway so
+		// corruption is loud rather than silently sub-optimal.
+		return nil, nil, fmt.Errorf("core: reconstruction peak %d != lower bound %d",
+			res.Peak, sol.LowerBound)
+	}
+	out := newColumnSet(rows, n)
+	unpackColumns(pr, out, shards)
+	return out, res, nil
 }
 
-// fillMapping solves and reconstructs a completed reduction: the shared
-// back half of Fill regardless of how the Mapping was produced.
+// fillMapping solves and reconstructs a completed reduction on the
+// unpacked representation. It is the per-trit reference path FillWith
+// is differentially tested against (TestFillMatchesReference), and the
+// back half of Map-based callers.
 func fillMapping(mp *Mapping) (*cube.Set, *Result, error) {
 	intervals := make([]bcp.Interval, len(mp.Intervals))
 	forced := 0
@@ -197,8 +265,6 @@ func fillMapping(mp *Mapping) (*cube.Set, *Result, error) {
 		Profile:      filled.ToggleProfile(),
 	}
 	if res.Peak != sol.LowerBound {
-		// Cannot happen if the optimality theorem holds; guard anyway so
-		// corruption is loud rather than silently sub-optimal.
 		return nil, nil, fmt.Errorf("core: reconstruction peak %d != lower bound %d",
 			res.Peak, sol.LowerBound)
 	}
@@ -208,16 +274,23 @@ func fillMapping(mp *Mapping) (*cube.Set, *Result, error) {
 // Bottleneck computes the optimal peak toggle count of the ordering
 // without materializing the filled set. It is the evaluation primitive
 // Algorithm 3 (I-Ordering) calls once per candidate interleaving; it
-// runs the packed single-shard scan and skips the pre-filled set
-// entirely (callers such as I-Ordering and the batch engine already
-// parallelize at coarser granularity).
+// runs the packed single-shard scan on pooled planes and skips the
+// pre-filled set entirely (callers such as I-Ordering and the batch
+// engine already parallelize at coarser granularity).
 func Bottleneck(s *cube.Set) (int, error) {
-	tis := scanIntervals(s)
-	intervals := make([]bcp.Interval, len(tis))
-	for i, ti := range tis {
-		intervals[i] = ti.Interval()
+	ar := getArena()
+	defer putArena(ar)
+	bcpIvs := ar.bcpIvs[:0]
+	if s.Width > 0 && s.Len() > 0 {
+		pr := cube.PackRowsInto(ar.pr, s)
+		ar.pr = pr
+		ar.ivs = scanRowsAppend(ar.ivs[:0], pr, 0, s.Width)
+		for _, ti := range ar.ivs {
+			bcpIvs = append(bcpIvs, ti.Interval())
+		}
 	}
-	inst, err := bcp.NewInstance(maxInt(0, s.Len()-1), intervals)
+	ar.bcpIvs = bcpIvs
+	inst, err := bcp.NewInstance(maxInt(0, s.Len()-1), bcpIvs)
 	if err != nil {
 		return 0, err
 	}

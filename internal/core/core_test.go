@@ -327,7 +327,7 @@ func TestReconstructPlacesToggleAtColor(t *testing.T) {
 	}
 }
 
-func BenchmarkFillWide(b *testing.B) {
+func BenchmarkCoreFillWide(b *testing.B) {
 	r := rand.New(rand.NewSource(11))
 	s := randomSet(r, 1000, 200, 0.8)
 	b.ResetTimer()

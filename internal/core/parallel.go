@@ -48,17 +48,7 @@ func resolveShards(requested, rows, trits int) int {
 // shards <= 0 picks a machine-sized default.
 func MapSharded(s *cube.Set, shards int) *Mapping {
 	n := s.Len()
-	m := &Mapping{NumCycles: maxInt(0, n-1)}
-
-	// Fresh set to unpack the pre-filled rows into. One flat backing
-	// buffer serves every cube: UnpackCubes overwrites all of it, so the
-	// zeroed make suffices and the allocator is hit once.
-	out := cube.NewSet(s.Width)
-	buf := make(cube.Cube, s.Width*n)
-	for j := 0; j < n; j++ {
-		out.Append(buf[j*s.Width : (j+1)*s.Width : (j+1)*s.Width])
-	}
-	m.Prefilled = out
+	m := &Mapping{NumCycles: maxInt(0, n-1), Prefilled: newColumnSet(s.Width, n)}
 
 	rows := s.Width
 	if rows == 0 {
@@ -66,15 +56,37 @@ func MapSharded(s *cube.Set, shards int) *Mapping {
 	}
 	shards = resolveShards(shards, rows, rows*n)
 	pr := cube.PackRows(s)
+	m.Intervals = scanSharded(pr, shards, nil)
+	unpackColumns(pr, m.Prefilled, shards)
+	return m
+}
 
-	if shards == 1 {
-		m.Intervals = scanRows(pr, 0, rows)
-		pr.UnpackCubes(out, 0, n)
-		return m
+// newColumnSet builds an n-cube set of the given width whose cubes
+// slice one flat backing buffer: the allocator is hit once, and the
+// zeroed make suffices because unpackColumns overwrites every trit.
+func newColumnSet(width, n int) *cube.Set {
+	out := cube.NewSet(width)
+	buf := make(cube.Cube, width*n)
+	for j := 0; j < n; j++ {
+		out.Append(buf[j*width : (j+1)*width : (j+1)*width])
 	}
+	return out
+}
 
-	// Phase 1: the stretch scan fans out across contiguous row shards —
-	// each pin row's scan touches only that row's packed planes.
+// scanSharded runs the stretch scan over all of pr's rows, fanned out
+// across contiguous row shards, appending the toggle intervals to dst
+// in row order. Rows are independent (each pin's X-stretch scan
+// touches only that pin's packed planes), so shards run concurrently
+// and their interval lists concatenate in shard order = row order —
+// entry for entry identical to the serial Map's list.
+func scanSharded(pr *cube.PackedRows, shards int, dst []ToggleInterval) []ToggleInterval {
+	rows := pr.Width
+	if rows == 0 {
+		return dst
+	}
+	if shards <= 1 {
+		return scanRowsAppend(dst, pr, 0, rows)
+	}
 	perShard := make([][]ToggleInterval, shards)
 	chunk := (rows + shards - 1) / shards
 	var wg sync.WaitGroup
@@ -89,25 +101,30 @@ func MapSharded(s *cube.Set, shards int) *Mapping {
 		wg.Add(1)
 		go func(sh, lo, hi int) {
 			defer wg.Done()
-			perShard[sh] = scanRows(pr, lo, hi)
+			perShard[sh] = scanRowsAppend(nil, pr, lo, hi)
 		}(sh, lo, hi)
 	}
 	wg.Wait()
-
-	// Merge in shard order = row order, so the interval list is
-	// entry-for-entry identical to the serial Map's.
-	total := 0
 	for _, p := range perShard {
-		total += len(p)
+		dst = append(dst, p...)
 	}
-	m.Intervals = make([]ToggleInterval, 0, total)
-	for _, p := range perShard {
-		m.Intervals = append(m.Intervals, p...)
-	}
+	return dst
+}
 
-	// Phase 2: unpack the pre-filled planes into the output set,
-	// sharded over disjoint cube (column) ranges.
+// unpackColumns decodes pr's planes into out, sharded over disjoint
+// cube (column) ranges. out must have pr.N cubes of width pr.Width;
+// every trit is overwritten.
+func unpackColumns(pr *cube.PackedRows, out *cube.Set, shards int) {
+	n := pr.N
+	if n == 0 || pr.Width == 0 {
+		return
+	}
+	if shards <= 1 {
+		pr.UnpackCubes(out, 0, n)
+		return
+	}
 	colChunk := (n + shards - 1) / shards
+	var wg sync.WaitGroup
 	for sh := 0; sh < shards; sh++ {
 		lo, hi := sh*colChunk, (sh+1)*colChunk
 		if hi > n {
@@ -123,28 +140,16 @@ func MapSharded(s *cube.Set, shards int) *Mapping {
 		}(lo, hi)
 	}
 	wg.Wait()
-	return m
 }
 
-// scanIntervals runs the packed stretch scan for its interval list
-// only, skipping the output-set allocation and unpack that Map-based
-// callers need — the fast path for Bottleneck's hot loop.
-func scanIntervals(s *cube.Set) []ToggleInterval {
-	if s.Width == 0 || s.Len() == 0 {
-		return nil
-	}
-	return scanRows(cube.PackRows(s), 0, s.Width)
-}
-
-// scanRows maps rows [lo, hi) on the packed representation: pre-fills
-// their fillable stretches in pr's planes and returns their toggle
-// intervals in row order.
-func scanRows(pr *cube.PackedRows, lo, hi int) []ToggleInterval {
-	var intervals []ToggleInterval
+// scanRowsAppend maps rows [lo, hi) on the packed representation:
+// pre-fills their fillable stretches in pr's planes and appends their
+// toggle intervals to dst in row order.
+func scanRowsAppend(dst []ToggleInterval, pr *cube.PackedRows, lo, hi int) []ToggleInterval {
 	for i := lo; i < hi; i++ {
-		mapRowPacked(i, pr, &intervals)
+		mapRowPacked(i, pr, &dst)
 	}
-	return intervals
+	return dst
 }
 
 // mapRowPacked is mapRow on the packed row planes: one pass over the

@@ -11,7 +11,7 @@ import (
 	"testing"
 )
 
-func BenchmarkMapPerTrit(b *testing.B) {
+func BenchmarkCoreMapPerTrit(b *testing.B) {
 	r := rand.New(rand.NewSource(3))
 	s := randomSet(r, 2000, 400, 0.85)
 	b.ResetTimer()
@@ -20,7 +20,7 @@ func BenchmarkMapPerTrit(b *testing.B) {
 	}
 }
 
-func BenchmarkMapPacked1(b *testing.B) {
+func BenchmarkCoreMapPacked(b *testing.B) {
 	r := rand.New(rand.NewSource(3))
 	s := randomSet(r, 2000, 400, 0.85)
 	b.ResetTimer()

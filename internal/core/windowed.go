@@ -14,18 +14,24 @@ import (
 // are clipped at window seams, so the achieved peak can exceed the
 // global optimum (never by more than the number of rows crossing a
 // seam; in practice the gap is small — TestWindowedGapIsModest and
-// BenchmarkFillWindowed quantify it).
+// BenchmarkCoreFillWindowed quantify it).
 //
 // This addresses the scalability question a production deployment hits
 // when n reaches tens of thousands of patterns and the O(C²) lower
 // bound of the monolithic solve dominates.
 func FillWindowed(s *cube.Set, windowSize int) (*cube.Set, *Result, error) {
+	return FillWindowedWith(s, windowSize, Options{})
+}
+
+// FillWindowedWith is FillWindowed with explicit execution options for
+// the per-window fills.
+func FillWindowedWith(s *cube.Set, windowSize int, opt Options) (*cube.Set, *Result, error) {
 	if windowSize < 2 {
 		return nil, nil, fmt.Errorf("core: window size %d < 2", windowSize)
 	}
 	n := s.Len()
 	if n <= windowSize {
-		return Fill(s)
+		return FillWith(s, opt)
 	}
 	out := cube.NewSet(s.Width)
 	intervals := 0
@@ -33,22 +39,26 @@ func FillWindowed(s *cube.Set, windowSize int) (*cube.Set, *Result, error) {
 	// Process [base, base+windowSize); the next window starts at the
 	// last vector of this one, whose filled values become its fixed
 	// first column — this stitches windows without double-filling.
+	// One flat-backed window set is reused across iterations: FillWith
+	// reads its input without retaining it, so each window just copies
+	// its slice of s (plus the seam carry) over the previous one.
+	win := newColumnSet(s.Width, windowSize)
 	var carry cube.Cube
 	for base := 0; base < n-1; base += windowSize - 1 {
 		hi := base + windowSize
 		if hi > n {
 			hi = n
 		}
-		win := cube.NewSet(s.Width)
+		win.Cubes = win.Cubes[:hi-base]
 		if carry == nil {
-			win.Append(s.Cubes[base].Clone())
+			copy(win.Cubes[0], s.Cubes[base])
 		} else {
-			win.Append(carry) // fully specified seam vector
+			copy(win.Cubes[0], carry) // fully specified seam vector
 		}
 		for j := base + 1; j < hi; j++ {
-			win.Append(s.Cubes[j].Clone())
+			copy(win.Cubes[j-base], s.Cubes[j])
 		}
-		filled, res, err := Fill(win)
+		filled, res, err := FillWith(win, opt)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: window at %d: %w", base, err)
 		}
@@ -66,11 +76,12 @@ func FillWindowed(s *cube.Set, windowSize int) (*cube.Set, *Result, error) {
 			break
 		}
 	}
+	peak, _, profile := out.ToggleStats()
 	res := &Result{
-		Peak:         out.PeakToggles(),
+		Peak:         peak,
 		NumIntervals: intervals,
 		ForcedUnit:   forced,
-		Profile:      out.ToggleProfile(),
+		Profile:      profile,
 	}
 	// The windowed peak is only a heuristic; report the true lower
 	// bound of the whole sequence so callers can see the gap.

@@ -93,7 +93,7 @@ func TestWindowedGapIsModest(t *testing.T) {
 	t.Logf("windowed(32) peak %d vs exact %d", wres.Peak, exact.Peak)
 }
 
-func BenchmarkFillWindowed(b *testing.B) {
+func BenchmarkCoreFillWindowed(b *testing.B) {
 	r := rand.New(rand.NewSource(2))
 	s := randomSet(r, 256, 2000, 0.8)
 	b.ResetTimer()

@@ -107,13 +107,38 @@ type PackedRows struct {
 
 // PackRows builds the mutable row-major snapshot of s.
 func PackRows(s *Set) *PackedRows {
+	return PackRowsInto(nil, s)
+}
+
+// PackRowsInto is PackRows reusing the backing arrays of a previous
+// snapshot: when p is non-nil and its buffers are large enough they
+// are repacked in place (every word is overwritten, so no clearing is
+// needed), otherwise fresh arrays are allocated. The per-job arenas of
+// the fill hot path recycle snapshots through a sync.Pool so serving
+// load does not hammer the GC with two m×ceil(n/64) planes per fill.
+// It returns p (reshaped) or a new snapshot when p is nil.
+func PackRowsInto(p *PackedRows, s *Set) *PackedRows {
 	words := (s.Len() + 63) / 64
-	p := &PackedRows{Width: s.Width, N: s.Len(), Words: words}
-	// One backing array per plane keeps rows contiguous in memory.
-	p.careBuf = make([]uint64, s.Width*words)
-	p.valBuf = make([]uint64, s.Width*words)
-	p.care = make([][]uint64, s.Width)
-	p.val = make([][]uint64, s.Width)
+	if p == nil {
+		p = &PackedRows{}
+	}
+	p.Width, p.N, p.Words = s.Width, s.Len(), words
+	need := s.Width * words
+	if cap(p.careBuf) < need || cap(p.valBuf) < need {
+		// One backing array per plane keeps rows contiguous in memory.
+		p.careBuf = make([]uint64, need)
+		p.valBuf = make([]uint64, need)
+	} else {
+		p.careBuf = p.careBuf[:need]
+		p.valBuf = p.valBuf[:need]
+	}
+	if cap(p.care) < s.Width || cap(p.val) < s.Width {
+		p.care = make([][]uint64, s.Width)
+		p.val = make([][]uint64, s.Width)
+	} else {
+		p.care = p.care[:s.Width]
+		p.val = p.val[:s.Width]
+	}
 	for i := 0; i < s.Width; i++ {
 		p.care[i] = p.careBuf[i*words : (i+1)*words : (i+1)*words]
 		p.val[i] = p.valBuf[i*words : (i+1)*words : (i+1)*words]
@@ -136,16 +161,15 @@ func PackRows(s *Set) *PackedRows {
 				careW[k], valW[k] = 0, 0
 			}
 			for j := jlo; j < jhi; j++ {
-				bit := uint64(1) << (j % 64)
+				sh := uint(j % 64)
 				c := s.Cubes[j][i0:i1]
+				// Branch-free on the trit encoding (Zero=0, One=1,
+				// X=2): care = t>>1 ^ 1, val = t&1 — random X
+				// patterns would defeat the branch predictor here.
 				for k, t := range c {
-					if t == X {
-						continue
-					}
-					careW[k] |= bit
-					if t == One {
-						valW[k] |= bit
-					}
+					tb := uint64(t)
+					careW[k] |= (tb>>1 ^ 1) << sh
+					valW[k] |= (tb & 1) << sh
 				}
 			}
 			for i := i0; i < i1; i++ {
@@ -290,4 +314,78 @@ func (p *PackedRows) UnpackTo(s *Set) {
 		panic("cube: UnpackTo shape mismatch")
 	}
 	p.UnpackCubes(s, 0, p.N)
+}
+
+// ColumnWord returns 64 consecutive columns of row i starting at
+// column base as a (care, val) word pair: bit p is column base+p.
+// Columns at or beyond N read as X (zero bits). The unaligned case
+// stitches two adjacent plane words with a shift — the primitive the
+// 64-way batch simulators use to load a pin's patterns in one read
+// instead of a per-trit repack.
+func (p *PackedRows) ColumnWord(i, base int) (care, val uint64) {
+	w, off := base/64, uint(base%64)
+	c, v := p.care[i], p.val[i]
+	care, val = c[w]>>off, v[w]>>off
+	if w+1 < p.Words {
+		// off == 0 contributes nothing: a 64-bit shift is zero in Go.
+		care |= c[w+1] << (64 - off)
+		val |= v[w+1] << (64 - off)
+	}
+	return care, val
+}
+
+// ToggleProfile computes the per-cycle guaranteed toggle counts of the
+// packed matrix — element j counts the rows whose columns j and j+1
+// are both specified and differ, exactly Set.ToggleProfile on the
+// unpacked set. The scan is word-parallel: each row contributes one
+// XOR-shift word per 64 cycles and then only its set (toggling) bits,
+// so the cost is O(m·n/64 + total toggles) instead of O(m·n).
+// The result has length N-1 (nil for N < 2).
+func (p *PackedRows) ToggleProfile() []int {
+	if p.N < 2 {
+		return nil
+	}
+	profile := make([]int, p.N-1)
+	p.AddToggles(profile)
+	return profile
+}
+
+// AddToggles accumulates the packed toggle profile into profile, which
+// must have length N-1. Separated from ToggleProfile so callers with a
+// pooled histogram can avoid the allocation.
+func (p *PackedRows) AddToggles(profile []int) {
+	if len(profile) != p.N-1 {
+		panic("cube: AddToggles profile length mismatch")
+	}
+	for i := 0; i < p.Width; i++ {
+		care, val := p.care[i], p.val[i]
+		for w := 0; w < p.Words; w++ {
+			// Bit j of nextC/nextV is column w*64+j+1: shift in the
+			// next word's low bit so cycle boundaries cross words.
+			nextC, nextV := care[w]>>1, val[w]>>1
+			if w+1 < p.Words {
+				nextC |= care[w+1] << 63
+				nextV |= val[w+1] << 63
+			}
+			t := (val[w] ^ nextV) & care[w] & nextC
+			for ; t != 0; t &= t - 1 {
+				j := w*64 + bits.TrailingZeros64(t)
+				if j < p.N-1 {
+					profile[j]++
+				}
+			}
+		}
+	}
+}
+
+// PeakToggles returns the maximum per-cycle toggle count of the packed
+// matrix (Set.PeakToggles on the unpacked set).
+func (p *PackedRows) PeakToggles() int {
+	peak := 0
+	for _, v := range p.ToggleProfile() {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak
 }

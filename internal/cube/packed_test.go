@@ -123,3 +123,82 @@ func TestPackWordBoundary(t *testing.T) {
 		t.Fatalf("XUnion = %d, want 64", p.XUnion(0, 1))
 	}
 }
+
+func TestPackRowsIntoReusesBuffers(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	big := randomSet(r, 90, 200, 0.6)
+	small := randomSet(r, 7, 30, 0.4)
+	odd := randomSet(r, 91, 130, 0.8)
+
+	p := PackRows(big)
+	// Repacking a smaller then a differently shaped set into the same
+	// snapshot must produce exactly what a fresh pack produces — any
+	// stale word from the previous occupant is a corruption.
+	for _, s := range []*Set{small, odd, big, small} {
+		p = PackRowsInto(p, s)
+		fresh := PackRows(s)
+		if p.Width != fresh.Width || p.N != fresh.N || p.Words != fresh.Words {
+			t.Fatalf("shape (%d,%d,%d), want (%d,%d,%d)",
+				p.Width, p.N, p.Words, fresh.Width, fresh.N, fresh.Words)
+		}
+		for i := 0; i < p.Width; i++ {
+			for j := 0; j < p.N; j++ {
+				if p.At(i, j) != fresh.At(i, j) {
+					t.Fatalf("reused pack At(%d,%d) = %v, fresh = %v", i, j, p.At(i, j), fresh.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestColumnWordMatchesAt(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	s := randomSet(r, 9, 170, 0.5)
+	p := PackRows(s)
+	for _, base := range []int{0, 1, 63, 64, 65, 100, 127, 128, 150, 169} {
+		for i := 0; i < p.Width; i++ {
+			care, val := p.ColumnWord(i, base)
+			for b := 0; b < 64; b++ {
+				j := base + b
+				want := X
+				if j < p.N {
+					want = p.At(i, j)
+				}
+				var got Trit
+				switch {
+				case care&(1<<uint(b)) == 0:
+					got = X
+				case val&(1<<uint(b)) != 0:
+					got = One
+				default:
+					got = Zero
+				}
+				if got != want {
+					t.Fatalf("row %d base %d bit %d: got %v, want %v", i, base, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPackedToggleProfileMatchesSet(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSet(r, 1+r.Intn(150), 2+r.Intn(140), r.Float64())
+		p := PackRows(s)
+		want := s.ToggleProfile()
+		got := p.ToggleProfile()
+		if len(got) != len(want) {
+			return false
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				return false
+			}
+		}
+		return p.PeakToggles() == s.PeakToggles()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

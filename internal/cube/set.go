@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math/bits"
 	"strings"
 )
 
@@ -133,9 +134,7 @@ func (s *Set) ToggleProfile() []int {
 		return nil
 	}
 	out := make([]int, len(s.Cubes)-1)
-	for j := 0; j+1 < len(s.Cubes); j++ {
-		out[j] = s.Cubes[j].HammingDistance(s.Cubes[j+1])
-	}
+	s.toggleScan(out)
 	return out
 }
 
@@ -143,23 +142,75 @@ func (s *Set) ToggleProfile() []int {
 // consecutive cube pairs — the objective of §IV once the set is fully
 // specified. It returns 0 for sets with fewer than two cubes.
 func (s *Set) PeakToggles() int {
-	peak := 0
-	for j := 0; j+1 < len(s.Cubes); j++ {
-		if d := s.Cubes[j].HammingDistance(s.Cubes[j+1]); d > peak {
-			peak = d
-		}
-	}
+	peak, _ := s.toggleScan(nil)
 	return peak
 }
 
 // TotalToggles returns the sum of guaranteed toggles over all consecutive
 // pairs (the average-power proxy, as opposed to the peak).
 func (s *Set) TotalToggles() int {
-	total := 0
-	for j := 0; j+1 < len(s.Cubes); j++ {
-		total += s.Cubes[j].HammingDistance(s.Cubes[j+1])
-	}
+	_, total := s.toggleScan(nil)
 	return total
+}
+
+// ToggleStats computes peak, total and the per-cycle profile in one
+// pass — what a serving front-end wants after a fill, without scanning
+// the set three times.
+func (s *Set) ToggleStats() (peak, total int, profile []int) {
+	if len(s.Cubes) >= 2 {
+		profile = make([]int, len(s.Cubes)-1)
+	}
+	peak, total = s.toggleScan(profile)
+	return peak, total, profile
+}
+
+// toggleScan is the shared word-parallel engine behind the toggle
+// statistics: each cube is packed into (care, value) words once and
+// consecutive pairs reduce to popcounts of (vᵢ⊕vᵢ₊₁)∧cᵢ∧cᵢ₊₁ — 64
+// pins per word operation instead of a branchy per-trit compare, and
+// each cube is packed once rather than once per neighbouring pair.
+// profile, when non-nil, must have length n-1 and receives the
+// per-cycle counts.
+func (s *Set) toggleScan(profile []int) (peak, total int) {
+	n := len(s.Cubes)
+	if n < 2 || s.Width == 0 {
+		return 0, 0
+	}
+	words := (s.Width + 63) / 64
+	buf := make([]uint64, 4*words)
+	prevC, prevV := buf[:words], buf[words:2*words]
+	curC, curV := buf[2*words:3*words], buf[3*words:]
+	packCubeWords(s.Cubes[0], prevC, prevV)
+	for j := 1; j < n; j++ {
+		packCubeWords(s.Cubes[j], curC, curV)
+		d := 0
+		for w := range curC {
+			d += bits.OnesCount64((prevV[w] ^ curV[w]) & prevC[w] & curC[w])
+		}
+		if profile != nil {
+			profile[j-1] = d
+		}
+		if d > peak {
+			peak = d
+		}
+		total += d
+		prevC, curC = curC, prevC
+		prevV, curV = curV, prevV
+	}
+	return peak, total
+}
+
+// packCubeWords packs one cube into care/value bit words (branchless;
+// the word slices are fully overwritten).
+func packCubeWords(c Cube, care, val []uint64) {
+	for w := range care {
+		care[w], val[w] = 0, 0
+	}
+	for i, t := range c {
+		cb := uint64((t>>1)^1) & 1 // 0/1 → 1, X → 0
+		care[i/64] |= cb << (i % 64)
+		val[i/64] |= (uint64(t) & cb) << (i % 64)
+	}
 }
 
 // Row returns pin i across all cubes — row i of the matrix A of §V-C.

@@ -297,8 +297,7 @@ func (e *Engine) runJob(ctx context.Context, idx int, job Job) (res Result) {
 		return res
 	}
 	res.Filled = filled
-	res.Peak = filled.PeakToggles()
-	res.Total = filled.TotalToggles()
+	res.Peak, res.Total, _ = filled.ToggleStats()
 	return res
 }
 

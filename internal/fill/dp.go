@@ -1,6 +1,8 @@
 package fill
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/cube"
 )
@@ -21,6 +23,19 @@ func DP() Filler {
 func DPWith(opt core.Options) Filler {
 	return Func{FillName: "DP-fill", F: func(s *cube.Set) (*cube.Set, error) {
 		filled, _, err := core.FillWith(s, opt)
+		return filled, err
+	}}
+}
+
+// DPWindowed returns the streaming windowed variant of DP-fill
+// (core.FillWindowedWith): windows of `window` vectors with one vector
+// of seam overlap, each solved optimally. The peak can exceed the
+// global optimum at seams, so it reports itself as a distinct filler
+// name ("DP-fill(w128)") and is never substituted silently for
+// DP-fill.
+func DPWindowed(window int, opt core.Options) Filler {
+	return Func{FillName: fmt.Sprintf("DP-fill(w%d)", window), F: func(s *cube.Set) (*cube.Set, error) {
+		filled, _, err := core.FillWindowedWith(s, window, opt)
 		return filled, err
 	}}
 }

@@ -52,6 +52,37 @@ func (d *DualRail) ApplyCubes(cubes []cube.Cube) error {
 			}
 		}
 	}
+	for k, id := range d.c.scanIn {
+		d.One[id], d.Zero[id] = one[k], zero[k]
+	}
+	d.eval()
+	return nil
+}
+
+// ApplyPackedRows simulates the up-to-64 cubes starting at column base
+// of the packed row planes (X bits allowed): bit p of every loaded
+// dual-rail word is cube base+p. The planes already separate care and
+// value, so each pin loads as One = value word, Zero = care-and-not-
+// value word — one ColumnWord read instead of a per-trit repack.
+// Output is bit-identical to ApplyCubes on the same cubes.
+func (d *DualRail) ApplyPackedRows(pr *cube.PackedRows, base int) error {
+	if pr.Width != len(d.c.scanIn) {
+		return fmt.Errorf("logicsim: packed width %d, want %d", pr.Width, len(d.c.scanIn))
+	}
+	if base < 0 || base >= pr.N {
+		return fmt.Errorf("logicsim: batch base %d out of range [0,%d)", base, pr.N)
+	}
+	for k, id := range d.c.scanIn {
+		care, val := pr.ColumnWord(k, base)
+		d.One[id], d.Zero[id] = val, care&^val
+	}
+	d.eval()
+	return nil
+}
+
+// eval settles the combinational core: constant sources, then every
+// gate in topological order. Scan inputs must already be loaded.
+func (d *DualRail) eval() {
 	c := d.c.C
 	for i := range c.Gates {
 		switch c.Gates[i].Type {
@@ -61,13 +92,9 @@ func (d *DualRail) ApplyCubes(cubes []cube.Cube) error {
 			d.One[i], d.Zero[i] = ^uint64(0), 0
 		}
 	}
-	for k, id := range d.c.scanIn {
-		d.One[id], d.Zero[id] = one[k], zero[k]
-	}
 	for _, g := range c.Topo() {
 		d.One[g], d.Zero[g] = EvalDualRail(c.Gates[g].Type, c.Gates[g].Fanin, d.One, d.Zero)
 	}
-	return nil
 }
 
 // Trit returns the 3-valued value of net id in pattern p.

@@ -11,6 +11,7 @@ package logicsim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/circuit"
 	"repro/internal/cube"
@@ -174,6 +175,47 @@ func (p *Parallel) ApplyBatch(in []uint64) error {
 	}
 	for k, id := range p.c.scanIn {
 		p.words[id] = in[k]
+	}
+	for _, g := range c.Topo() {
+		p.words[g] = eval64(c.Gates[g].Type, c.Gates[g].Fanin, p.words)
+	}
+	return nil
+}
+
+// ApplyPackedRows simulates the up-to-64 cubes starting at column base
+// of the packed row planes: bit p of every loaded input word is cube
+// base+p. Callers with a whole ordered set pack it once and sweep the
+// bases, so each batch load is one ColumnWord read per pin instead of
+// a per-trit repack of 64 cubes (PackCubes + ApplyBatch produce
+// bit-identical net words on the same cubes). Every covered cube must
+// be fully specified.
+func (p *Parallel) ApplyPackedRows(pr *cube.PackedRows, base int) error {
+	if pr.Width != len(p.c.scanIn) {
+		return fmt.Errorf("logicsim: packed width %d, want %d", pr.Width, len(p.c.scanIn))
+	}
+	if base < 0 || base >= pr.N {
+		return fmt.Errorf("logicsim: batch base %d out of range [0,%d)", base, pr.N)
+	}
+	active := ^uint64(0)
+	if rem := pr.N - base; rem < 64 {
+		active = 1<<uint(rem) - 1
+	}
+	c := p.c.C
+	for i := range c.Gates {
+		switch c.Gates[i].Type {
+		case circuit.Const0:
+			p.words[i] = 0
+		case circuit.Const1:
+			p.words[i] = ^uint64(0)
+		}
+	}
+	for k, id := range p.c.scanIn {
+		care, val := pr.ColumnWord(k, base)
+		if care&active != active {
+			return fmt.Errorf("logicsim: pin %d has X bits in cubes %d..%d; batch simulation needs specified bits",
+				k, base, base+bits.Len64(active)-1)
+		}
+		p.words[id] = val
 	}
 	for _, g := range c.Topo() {
 		p.words[g] = eval64(c.Gates[g].Type, c.Gates[g].Fanin, p.words)

@@ -291,7 +291,7 @@ func TestPropertyToggleCountMatchesScalarDiff(t *testing.T) {
 	}
 }
 
-func BenchmarkParallelBatch(b *testing.B) {
+func BenchmarkLogicsimParallelBatch(b *testing.B) {
 	cc := compile(b)
 	par := NewParallel(cc)
 	in := make([]uint64, len(cc.C.ScanInputs()))

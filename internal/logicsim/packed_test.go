@@ -1,0 +1,130 @@
+package logicsim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cube"
+)
+
+func randomPackedSet(r *rand.Rand, width, n int, xProb float64) *cube.Set {
+	s := cube.NewSet(width)
+	for v := 0; v < n; v++ {
+		c := make(cube.Cube, width)
+		for k := range c {
+			switch {
+			case r.Float64() < xProb:
+				c[k] = cube.X
+			case r.Intn(2) == 0:
+				c[k] = cube.Zero
+			default:
+				c[k] = cube.One
+			}
+		}
+		s.Append(c)
+	}
+	return s
+}
+
+// TestDualRailPackedMatchesApplyCubes pins ApplyPackedRows to
+// ApplyCubes word for word, over aligned and unaligned batch bases —
+// including bases that straddle the plane word boundary, which is the
+// layout the overlapping 63-stride sweeps of the power model hit.
+func TestDualRailPackedMatchesApplyCubes(t *testing.T) {
+	cc := compile(t)
+	width := len(cc.C.ScanInputs())
+	r := rand.New(rand.NewSource(21))
+	s := randomPackedSet(r, width, 200, 0.3)
+	pr := cube.PackRows(s)
+	ref := NewDualRail(cc)
+	got := NewDualRail(cc)
+	for _, base := range []int{0, 1, 63, 64, 65, 100, 127, 137, 199} {
+		hi := base + 64
+		if hi > s.Len() {
+			hi = s.Len()
+		}
+		if err := ref.ApplyCubes(s.Cubes[base:hi]); err != nil {
+			t.Fatalf("base %d: ApplyCubes: %v", base, err)
+		}
+		if err := got.ApplyPackedRows(pr, base); err != nil {
+			t.Fatalf("base %d: ApplyPackedRows: %v", base, err)
+		}
+		for id := range cc.C.Gates {
+			if got.One[id] != ref.One[id] || got.Zero[id] != ref.Zero[id] {
+				t.Fatalf("base %d net %d: packed rails (%x,%x) != cube rails (%x,%x)",
+					base, id, got.One[id], got.Zero[id], ref.One[id], ref.Zero[id])
+			}
+		}
+	}
+}
+
+// TestParallelPackedMatchesPackCubes pins Parallel.ApplyPackedRows to
+// the PackCubes + ApplyBatch path on fully specified sets.
+func TestParallelPackedMatchesPackCubes(t *testing.T) {
+	cc := compile(t)
+	width := len(cc.C.ScanInputs())
+	r := rand.New(rand.NewSource(22))
+	s := randomPackedSet(r, width, 150, 0) // fully specified
+	pr := cube.PackRows(s)
+	ref := NewParallel(cc)
+	got := NewParallel(cc)
+	for base := 0; base < s.Len()-1; base += 63 {
+		hi := base + 64
+		if hi > s.Len() {
+			hi = s.Len()
+		}
+		in, err := PackCubes(s.Cubes[base:hi], width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.ApplyBatch(in); err != nil {
+			t.Fatal(err)
+		}
+		if err := got.ApplyPackedRows(pr, base); err != nil {
+			t.Fatalf("base %d: %v", base, err)
+		}
+		for id := range cc.C.Gates {
+			if got.Word(id) != ref.Word(id) {
+				t.Fatalf("base %d net %d: packed word %x != batch word %x",
+					base, id, got.Word(id), ref.Word(id))
+			}
+		}
+	}
+}
+
+// TestParallelPackedRejectsX mirrors PackCubes' validation: an X bit
+// inside the covered cube range must error, and bits beyond the set
+// length must not trip the check.
+func TestParallelPackedRejectsX(t *testing.T) {
+	cc := compile(t)
+	width := len(cc.C.ScanInputs())
+	r := rand.New(rand.NewSource(23))
+	s := randomPackedSet(r, width, 70, 0)
+	s.Cubes[69][0] = cube.X
+	pr := cube.PackRows(s)
+	par := NewParallel(cc)
+	if err := par.ApplyPackedRows(pr, 63); err == nil {
+		t.Fatal("expected an error for X bits in the covered range")
+	} else if !strings.Contains(err.Error(), "X bits") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// The short final batch [64, 70) excludes nothing — cube 69 is
+	// inside it, so it must also fail...
+	if err := par.ApplyPackedRows(pr, 64); err == nil {
+		t.Fatal("expected an error for X bits in the short final batch")
+	}
+	// ...while a batch that ends before the X passes, and the columns
+	// beyond N must not be mistaken for Xs.
+	s.Cubes[69][0] = cube.Zero
+	pr = cube.PackRows(s)
+	if err := par.ApplyPackedRows(pr, 64); err != nil {
+		t.Fatalf("short final batch: %v", err)
+	}
+	if err := par.ApplyPackedRows(pr, -1); err == nil {
+		t.Fatal("expected an error for a negative base")
+	}
+	if err := par.ApplyPackedRows(pr, 70); err == nil {
+		t.Fatal("expected an error for a base beyond the set")
+	}
+}

@@ -188,7 +188,7 @@ func TestGenerateMediumProfileFast(t *testing.T) {
 	}
 }
 
-func BenchmarkGenerateB14(b *testing.B) {
+func BenchmarkNetgenGenerateB14(b *testing.B) {
 	p, _ := ProfileByName("b14")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -69,16 +69,13 @@ func (m *Model) IRDrop(c *circuit.Circuit, s *cube.Set, tiles int) (*IRDropMap, 
 	iScale := m.tech.Vdd * m.tech.Freq * 1e6 // C·V·f in µA per farad
 
 	par := logicsim.NewParallel(m.cc)
+	pr := cube.PackRows(s)
 	for base := 0; base < n-1; base += 63 {
 		hi := base + 64
 		if hi > n {
 			hi = n
 		}
-		in, err := logicsim.PackCubes(s.Cubes[base:hi], s.Width)
-		if err != nil {
-			return nil, err
-		}
-		if err := par.ApplyBatch(in); err != nil {
+		if err := par.ApplyPackedRows(pr, base); err != nil {
 			return nil, err
 		}
 		pairs := hi - base - 1

@@ -132,22 +132,19 @@ func (m *Model) CapturePower(s *cube.Set) (*CycleReport, error) {
 		Toggles: make([]int, n-1),
 	}
 	par := logicsim.NewParallel(m.cc)
-	width := s.Width
 	scale := 0.5 * m.tech.Vdd * m.tech.Vdd * m.tech.Freq * 1e6 // W -> µW
 
 	// Overlapping batches of 64 patterns: patterns [base, base+64) give
 	// cycles [base, base+63); the next batch starts at base+63 so the
-	// seam pair is covered exactly once.
+	// seam pair is covered exactly once. The set is bit-packed once and
+	// each batch loads straight from the column planes.
+	pr := cube.PackRows(s)
 	for base := 0; base < n-1; base += 63 {
 		hi := base + 64
 		if hi > n {
 			hi = n
 		}
-		in, err := logicsim.PackCubes(s.Cubes[base:hi], width)
-		if err != nil {
-			return nil, err
-		}
-		if err := par.ApplyBatch(in); err != nil {
+		if err := par.ApplyPackedRows(pr, base); err != nil {
 			return nil, err
 		}
 		pairs := hi - base - 1

@@ -38,6 +38,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/exp"
 	"repro/internal/fill"
@@ -259,7 +260,7 @@ func (s *Server) resolveFill(req FillRequest) (engine.Job, FillResponse, string,
 	if err != nil {
 		return job, resp, "", badRequestf("%v", err)
 	}
-	fl, err := serverFiller(req.Filler, seed)
+	fl, err := serverFiller(req.Filler, req.Window, seed)
 	if err != nil {
 		return job, resp, "", badRequestf("%v", err)
 	}
@@ -284,12 +285,28 @@ func (s *Server) resolveFill(req FillRequest) (engine.Job, FillResponse, string,
 }
 
 // serverFiller resolves a filler name with DP-fill pinned to a single
-// shard (see resolveFill). An empty name means DP-fill.
-func serverFiller(name string, seed int64) (fill.Filler, error) {
+// shard (see resolveFill). An empty name means DP-fill. A window >= 2
+// selects the streaming windowed DP-fill; its distinct filler name
+// ("DP-fill(wN)") flows into the response and the cache digest, so
+// windowed and monolithic results never alias in the cache.
+func serverFiller(name string, window int, seed int64) (fill.Filler, error) {
 	if name == "" {
 		name = "dp"
 	}
-	return fill.ByNameSerial(name, seed)
+	fl, err := fill.ByNameSerial(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	if window == 0 {
+		return fl, nil
+	}
+	if window < 2 {
+		return nil, fmt.Errorf("window %d: must be >= 2", window)
+	}
+	if fl.Name() != "DP-fill" {
+		return nil, fmt.Errorf("window is only valid with the dp filler, not %q", name)
+	}
+	return fill.DPWindowed(window, core.Options{Shards: 1}), nil
 }
 
 // finishFill completes a response from either a cache entry or an
