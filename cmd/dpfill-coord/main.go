@@ -81,6 +81,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	shardSize := fs.Int("shard-size", 16, "batch jobs per worker shard")
 	attempts := fs.Int("attempts", 3, "distinct workers tried per shard before giving up")
 	hedgeAfter := fs.Duration("hedge-after", 0, "duplicate a shard on another worker after this long (0 disables)")
+	noAffinity := fs.Bool("no-affinity", false, "disable warm-cache routing: dispatch least-loaded instead of by request hash")
 	attemptTimeout := fs.Duration("attempt-timeout", 3*time.Minute, "per-worker answer deadline before a shard fails over (hung-worker guard)")
 	fallback := fs.Bool("fallback", true, "run jobs on a local in-process engine when no worker is reachable")
 	localWorkers := fs.Int("fallback-workers", 0, "local fallback engine worker bound (0 = GOMAXPROCS)")
@@ -111,6 +112,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		HedgeAfter:      *hedgeAfter,
 		AttemptTimeout:  *attemptTimeout,
 		DisableFallback: !*fallback,
+		DisableAffinity: *noAffinity,
 		Local:           server.Config{Workers: *localWorkers},
 		MaxBodyBytes:    *maxBody,
 		MaxBatchJobs:    *maxBatch,

@@ -84,7 +84,8 @@ func run(args []string, stdout io.Writer) error {
 	outdir := fs.String("outdir", "", "directory for batch-mode filled sets")
 	serverURL := fs.String("server", "", "dpfilld/dpfill-coord base URL: submit jobs there instead of filling locally")
 	async := fs.Bool("async", false, "with -server: submit through the async job API (/v1/jobs) and poll for the result")
-	poll := fs.Duration("poll", 100*time.Millisecond, "async job poll interval")
+	poll := fs.Duration("poll", 100*time.Millisecond, "async job poll interval (fallback when the server does not stream)")
+	follow := fs.Bool("follow", false, "with -async: print each job's state and progress events as the server pushes them")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -126,7 +127,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 		switch {
 		case *serverURL != "" && *async:
-			return runRemoteAsyncBatch(stdout, *serverURL, inputs, *ordName, *fillName, *seed, *outdir, *poll)
+			return runRemoteAsyncBatch(stdout, *serverURL, inputs, *ordName, *fillName, *seed, *outdir, *poll, *follow)
 		case *serverURL != "":
 			return runRemoteBatch(stdout, *serverURL, inputs, *ordName, *fillName, *seed, *outdir)
 		}
@@ -149,7 +150,7 @@ func run(args []string, stdout io.Writer) error {
 		if explicit["o"] {
 			return fmt.Errorf("-o is synchronous-only; use -outdir with -async")
 		}
-		return runRemoteAsyncBatch(stdout, *serverURL, []string{*in}, *ordName, *fillName, *seed, *outdir, *poll)
+		return runRemoteAsyncBatch(stdout, *serverURL, []string{*in}, *ordName, *fillName, *seed, *outdir, *poll, *follow)
 	}
 
 	var r io.Reader = os.Stdin

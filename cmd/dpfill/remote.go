@@ -179,7 +179,7 @@ func runRemoteBatch(stdout io.Writer, serverURL string, inputs []string, ordName
 // immediately, and the results are polled for — so a worker or
 // coordinator restart mid-run does not lose the work (the server
 // journals accepted jobs when it runs with -data-dir).
-func runRemoteAsyncBatch(stdout io.Writer, serverURL string, inputs []string, ordName, fillName string, seed int64, outdir string, poll time.Duration) error {
+func runRemoteAsyncBatch(stdout io.Writer, serverURL string, inputs []string, ordName, fillName string, seed int64, outdir string, poll time.Duration, follow bool) error {
 	c, err := client.New(client.Config{BaseURL: serverURL})
 	if err != nil {
 		return err
@@ -208,7 +208,21 @@ func runRemoteAsyncBatch(stdout io.Writer, serverURL string, inputs []string, or
 				items[jobIdx[k]] = client.BatchItem{Error: msg}
 			}
 		}
-		st, err := c.WaitJob(context.Background(), sub.id, poll)
+		var onEvent func(client.JobStatus)
+		if follow {
+			// -follow narrates the server's pushed SSE events: each state
+			// transition and progress advance prints as it happens.
+			last := client.JobStatus{Done: -1}
+			onEvent = func(st client.JobStatus) {
+				if st.State != last.State {
+					fmt.Fprintf(stdout, "job %s: %s\n", st.ID, st.State)
+				} else if st.Done != last.Done {
+					fmt.Fprintf(stdout, "job %s: %d/%d inputs done\n", st.ID, st.Done, st.Total)
+				}
+				last = st
+			}
+		}
+		st, err := c.WaitJob(context.Background(), sub.id, poll, onEvent)
 		if err != nil {
 			fail(err.Error())
 			continue

@@ -230,6 +230,12 @@ func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 // attempt send, map the status, and back off with full jitter before
 // trying again on retryable failures.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	return c.doHeaders(ctx, method, path, in, out, nil)
+}
+
+// doHeaders is do with extra request headers on every attempt — the
+// idempotency key of a job submit travels this way.
+func (c *Client) doHeaders(ctx context.Context, method, path string, in, out any, hdr http.Header) error {
 	var body []byte
 	if in != nil {
 		var err error
@@ -246,7 +252,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 				return fmt.Errorf("client: %s %s: %w (last error: %w)", method, path, ctx.Err(), lastErr)
 			}
 		}
-		lastErr = c.attempt(ctx, method, path, body, out)
+		lastErr = c.attempt(ctx, method, path, body, out, hdr)
 		if lastErr == nil {
 			return nil
 		}
@@ -258,7 +264,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 }
 
 // attempt is one request/response cycle.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) error {
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any, hdr http.Header) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -270,8 +276,16 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
-	if id := reqid.From(ctx); id != "" {
-		req.Header.Set(reqid.Header, id)
+	for k, vs := range hdr {
+		req.Header[k] = vs
+	}
+	// Forward the trace: same trace ID on every hop, this hop's span
+	// as the callee's parent — the join key across fleet access logs.
+	if tr := reqid.TraceFrom(ctx); tr.ID != "" {
+		req.Header.Set(reqid.Header, tr.ID)
+		if tr.Span != "" {
+			req.Header.Set(reqid.ParentHeader, tr.Span)
+		}
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {

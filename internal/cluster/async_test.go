@@ -136,7 +136,7 @@ func TestReplayedJobWaitsForFleetAdmission(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := m.Submit(payload, len(req.Jobs))
+	st, err := m.Submit(payload, len(req.Jobs), "")
 	if err != nil {
 		t.Fatal(err)
 	}

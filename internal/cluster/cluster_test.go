@@ -405,7 +405,9 @@ func TestDisableFallback(t *testing.T) {
 func TestHedgedRequestBeatsStraggler(t *testing.T) {
 	slow, fast := newChaosWorker(t), newChaosWorker(t)
 	slow.slowBatchMs.Store(5000)
-	co := newTestCoordinator(t, Config{ShardSize: 8, HedgeAfter: 50 * time.Millisecond}, slow, fast)
+	// Affinity off: the test needs the first attempt to land on the
+	// slow worker deterministically (tied loads pick in fleet order).
+	co := newTestCoordinator(t, Config{ShardSize: 8, HedgeAfter: 50 * time.Millisecond, DisableAffinity: true}, slow, fast)
 	waitHealthy(t, co, 2)
 	c := coordClient(t, co)
 
@@ -432,7 +434,8 @@ func TestHedgedRequestBeatsStraggler(t *testing.T) {
 func TestHungWorkerFailsOver(t *testing.T) {
 	hung, live := newChaosWorker(t), newChaosWorker(t)
 	hung.slowBatchMs.Store(60_000)
-	co := newTestCoordinator(t, Config{ShardSize: 8, AttemptTimeout: 150 * time.Millisecond}, hung, live)
+	// Affinity off: the hang must deterministically hit first.
+	co := newTestCoordinator(t, Config{ShardSize: 8, AttemptTimeout: 150 * time.Millisecond, DisableAffinity: true}, hung, live)
 	waitHealthy(t, co, 2)
 	c := coordClient(t, co)
 

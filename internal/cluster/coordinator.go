@@ -25,15 +25,18 @@ package cluster
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/client"
 	"repro/internal/jobs"
+	prom "repro/internal/metrics"
 	"repro/internal/reqid"
 	"repro/internal/server"
 )
@@ -66,6 +69,11 @@ type Config struct {
 	// DisableFallback refuses requests with 503 when no worker is
 	// reachable instead of running them on the local engine.
 	DisableFallback bool
+	// DisableAffinity turns off cache-affinity routing: every first
+	// attempt goes to the least-loaded worker instead of the request's
+	// rendezvous-hash target. An ops escape hatch for when sticky
+	// routing concentrates pathological load.
+	DisableAffinity bool
 	// Local configures the in-process fallback service (engine
 	// workers, shape limits). Ignored when DisableFallback is set.
 	Local server.Config
@@ -125,15 +133,17 @@ func (c Config) withDefaults() Config {
 // run heartbeats with Run or Serve; stop the async job workers with
 // Close when the Coordinator is discarded without going through Serve.
 type Coordinator struct {
-	cfg      Config
-	reg      *registry
-	local    *client.Client // in-process fallback; nil when disabled
-	localSrv *server.Server // backing service of local; nil when disabled
-	jobs     *jobs.Manager
-	jobsGate chan struct{} // closed after Run's first heartbeat sweep
-	jobsOnce sync.Once     // concurrent Run calls close the gate once
-	met      *metrics
-	mux      *http.ServeMux
+	cfg          Config
+	reg          *registry
+	local        *client.Client // in-process fallback; nil when disabled
+	localSrv     *server.Server // backing service of local; nil when disabled
+	jobs         *jobs.Manager
+	jobsGate     chan struct{} // closed after Run's first heartbeat sweep
+	jobsOnce     sync.Once     // concurrent Run calls close the gate once
+	met          *metrics
+	shardLog     shardRing
+	shardLatency *prom.Histogram
+	mux          *http.ServeMux
 }
 
 // New builds a Coordinator over the configured fleet. Workers start
@@ -193,6 +203,7 @@ func New(cfg Config) (*Coordinator, error) {
 	mux.HandleFunc("POST /v1/grid", co.handleGrid)
 	mux.HandleFunc("GET /healthz", co.handleHealthz)
 	mux.HandleFunc("GET /stats", co.handleStats)
+	mux.Handle("GET /metrics", co.newProm().Handler())
 	jobs.Mount(mux, co.jobs, co.decodeJobSubmit)
 	co.mux = mux
 	return co, nil
@@ -226,19 +237,59 @@ func (co *Coordinator) Run(ctx context.Context) {
 // errNoWorkers means dispatch found no admitted worker to try.
 var errNoWorkers = errors.New("cluster: no healthy workers")
 
-// dispatch routes one call through the fleet: least-loaded worker
-// first, failover to the next-best worker on retryable failure, and —
-// when hedging is on — a duplicate attempt if the current one is
-// still pending after HedgeAfter. weight is the job count, charged to
-// the worker's outstanding load while the attempt is in flight.
-func dispatch[T any](co *Coordinator, ctx context.Context, weight int, call func(context.Context, *client.Client) (*T, error)) (*T, error) {
-	type outcome struct {
-		resp *T
-		err  error
-		w    *worker
-		idx  int // launch ordinal, for hedge-win attribution
+// affinityLoadSlack is how far (in load-score units: queued + inflight
+// + outstanding jobs) a request's hash target may exceed the fleet's
+// least-loaded worker before affinity yields to load balancing.
+const affinityLoadSlack = 8
+
+// withinAffinityBound reports whether the hash target's load is close
+// enough to the fleet minimum to honor cache affinity.
+func withinAffinityBound(t *worker, reg *registry) bool {
+	least := reg.pick(nil)
+	if least == nil || least == t {
+		return true
 	}
-	results := make(chan outcome, co.cfg.MaxAttempts)
+	return t.load() <= least.load()+affinityLoadSlack
+}
+
+// dispatchInfo is one dispatch's attempt breakdown, for shard traces
+// and affinity accounting. The zero value describes a dispatch that
+// never launched.
+type dispatchInfo struct {
+	// Attempts counts launched attempts, hedge included.
+	Attempts int
+	// Hedged reports whether a hedge attempt was launched.
+	Hedged bool
+	// Worker is the answering worker's base URL; "" on failure.
+	Worker string
+	// WorkerNS is the winning attempt's wall-clock time in the worker
+	// call, nanoseconds; 0 on failure.
+	WorkerNS int64
+}
+
+// dispatch routes one call through the fleet: the affinity target for
+// key first (so repeat work lands on the worker whose result cache is
+// warm), else least-loaded; failover to the next-best worker on
+// retryable failure; and — when hedging is on — a duplicate attempt
+// if the current one is still pending after HedgeAfter. weight is the
+// job count, charged to the worker's outstanding load while the
+// attempt is in flight.
+//
+// Budgets: MaxAttempts bounds failure-driven launches only (the
+// initial attempt plus failovers). The hedge has its own budget of
+// one — it is a latency tool, and letting it consume a failover slot
+// meant a straggler plus one real failure could exhaust the budget
+// before a third worker was ever tried.
+func dispatch[T any](co *Coordinator, ctx context.Context, weight int, key uint64, call func(context.Context, *client.Client) (*T, error)) (*T, dispatchInfo, error) {
+	type outcome struct {
+		resp    *T
+		err     error
+		w       *worker
+		idx     int // launch ordinal, for hedge-win attribution
+		elapsed time.Duration
+	}
+	var info dispatchInfo
+	results := make(chan outcome, co.cfg.MaxAttempts+1) // +1: the hedge's own slot
 	tried := make(map[*worker]bool)
 	var cancels []context.CancelFunc
 	defer func() {
@@ -247,8 +298,11 @@ func dispatch[T any](co *Coordinator, ctx context.Context, weight int, call func
 		}
 	}()
 	launched := 0
-	launch := func() bool {
-		w := co.reg.pick(tried)
+	launch := func(preferred *worker) bool {
+		w := preferred
+		if w == nil {
+			w = co.reg.pick(tried)
+		}
 		if w == nil {
 			return false
 		}
@@ -260,18 +314,35 @@ func dispatch[T any](co *Coordinator, ctx context.Context, weight int, call func
 		cancels = append(cancels, cancel)
 		idx := launched
 		launched++
+		info.Attempts++
 		go func() {
+			start := time.Now()
 			resp, err := call(actx, w.c)
 			w.addOutstanding(-weight)
-			results <- outcome{resp, err, w, idx}
+			results <- outcome{resp, err, w, idx, time.Since(start)}
 		}()
 		return true
 	}
-	if !launch() {
-		return nil, errNoWorkers
+	// First attempt: the rendezvous-hash target when it is admitted and
+	// not drastically busier than the least-loaded worker — a
+	// cache-affinity hit — otherwise fall back to least-loaded. The
+	// load bound keeps a hot key from piling work onto one node while
+	// the rest of the fleet idles (bounded-load consistent hashing).
+	if key != 0 && !co.cfg.DisableAffinity {
+		t := co.reg.affinityTarget(key)
+		if t != nil && t.isHealthy() && withinAffinityBound(t, co.reg) {
+			launch(t)
+			co.met.affinityHits.Add(1)
+		} else {
+			co.met.affinityMisses.Add(1)
+		}
+	}
+	if launched == 0 && !launch(nil) {
+		return nil, info, errNoWorkers
 	}
 	outstanding := 1
-	hedgeIdx := -1 // launch ordinal of the hedge attempt, if any
+	failureLaunches := 1 // initial attempt + failovers, capped by MaxAttempts
+	hedgeIdx := -1       // launch ordinal of the hedge attempt, if any
 	var hedgeC <-chan time.Time
 	if co.cfg.HedgeAfter > 0 {
 		t := time.NewTimer(co.cfg.HedgeAfter)
@@ -289,11 +360,13 @@ func dispatch[T any](co *Coordinator, ctx context.Context, weight int, call func
 				if out.idx == hedgeIdx {
 					co.met.hedgeWins.Add(1)
 				}
-				return out.resp, nil
+				info.Worker = out.w.url
+				info.WorkerNS = out.elapsed.Nanoseconds()
+				return out.resp, info, nil
 			}
 			lastErr = out.err
 			if ctx.Err() != nil {
-				return nil, ctx.Err()
+				return nil, info, ctx.Err()
 			}
 			// The caller is still waiting (ctx is alive), so a deadline
 			// in the error is this attempt's own AttemptTimeout: the
@@ -308,37 +381,58 @@ func dispatch[T any](co *Coordinator, ctx context.Context, weight int, call func
 					// next successful sweep).
 					out.w.markDown()
 				}
-				if launched < co.cfg.MaxAttempts && launch() {
+				if failureLaunches < co.cfg.MaxAttempts && launch(nil) {
+					failureLaunches++
 					outstanding++
 					co.met.retries.Add(1)
 				}
 			}
 		case <-hedgeC:
 			hedgeC = nil
-			if launched < co.cfg.MaxAttempts {
-				hedgeIdx = launched
-				if launch() {
-					outstanding++
-					co.met.hedges.Add(1)
-				} else {
-					hedgeIdx = -1
-				}
+			hedgeIdx = launched
+			if launch(nil) {
+				outstanding++
+				info.Hedged = true
+				co.met.hedges.Add(1)
+			} else {
+				hedgeIdx = -1
 			}
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, info, ctx.Err()
 		}
 	}
 	if lastErr == nil {
 		lastErr = errNoWorkers
 	}
-	return nil, lastErr
+	return nil, info, lastErr
+}
+
+// affinityKey maps a request to its stable routing key: the FNV-1a
+// hash of its canonical JSON encoding. Identical requests hash alike,
+// so the rendezvous router sends repeats to the worker whose result
+// cache already holds the answer. 0 (no affinity) only on a marshal
+// failure.
+func affinityKey(v any) uint64 {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return 0
+	}
+	h := uint64(14695981039346656037)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	if h == 0 {
+		h = 1 // 0 is the "no affinity" sentinel
+	}
+	return h
 }
 
 // fillThrough answers one fill request: fleet first, local fallback
 // when the fleet can't.
 func (co *Coordinator) fillThrough(ctx context.Context, req client.FillRequest) (*client.FillResponse, error) {
 	co.met.jobs.Add(1)
-	resp, err := dispatch(co, ctx, 1, func(ctx context.Context, c *client.Client) (*client.FillResponse, error) {
+	resp, _, err := dispatch(co, ctx, 1, affinityKey(req), func(ctx context.Context, c *client.Client) (*client.FillResponse, error) {
 		return c.Fill(ctx, req)
 	})
 	if err != nil && co.fallbackEligible(ctx, err) {
@@ -354,7 +448,7 @@ func (co *Coordinator) gridThrough(ctx context.Context, req client.GridRequest) 
 	co.met.jobs.Add(1)
 	// A grid fans one set across every paper filler; weight it as such.
 	const gridWeight = 8
-	resp, err := dispatch(co, ctx, gridWeight, func(ctx context.Context, c *client.Client) (*client.GridResponse, error) {
+	resp, _, err := dispatch(co, ctx, gridWeight, affinityKey(req), func(ctx context.Context, c *client.Client) (*client.GridResponse, error) {
 		return c.Grid(ctx, req)
 	})
 	if err != nil && co.fallbackEligible(ctx, err) {
@@ -385,16 +479,29 @@ func (co *Coordinator) fallbackEligible(ctx context.Context, err error) bool {
 func (co *Coordinator) batchThrough(ctx context.Context, req client.BatchRequest) *client.BatchResponse {
 	n := len(req.Jobs)
 	items := make([]client.BatchItem, n)
+	// When the batch runs as an async job, each finished shard advances
+	// the job's progress counter — that is what a ?watch=1 stream (and
+	// dpfill -follow) narrates while the batch is in flight.
+	progress := jobs.Progress(ctx)
+	var done atomic.Int64
+	nShards := (n + co.cfg.ShardSize - 1) / co.cfg.ShardSize
+	traces := make([]server.ShardTrace, nShards)
 	var wg sync.WaitGroup
+	si := 0
 	for lo := 0; lo < n; lo += co.cfg.ShardSize {
 		hi := min(lo+co.cfg.ShardSize, n)
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(si, lo, hi int) {
 			defer wg.Done()
-			co.runShard(ctx, req.Jobs[lo:hi], items[lo:hi])
-		}(lo, hi)
+			tr := co.runShard(ctx, req.Jobs[lo:hi], items[lo:hi])
+			tr.Lo, tr.Hi = lo, hi
+			traces[si] = tr
+			progress(int(done.Add(int64(hi - lo))))
+		}(si, lo, hi)
+		si++
 	}
 	wg.Wait()
+	co.shardLog.record(traces)
 	failed := 0
 	for _, it := range items {
 		if it.Error != "" {
@@ -402,21 +509,36 @@ func (co *Coordinator) batchThrough(ctx context.Context, req client.BatchRequest
 		}
 	}
 	co.met.jobs.Add(uint64(n))
-	return &client.BatchResponse{Results: items, Failed: failed}
+	resp := &client.BatchResponse{Results: items, Failed: failed}
+	if req.Debug {
+		resp.Shards = traces
+	}
+	return resp
 }
 
 // runShard answers one contiguous slice of a batch, writing results
-// into the aligned out slice.
-func (co *Coordinator) runShard(ctx context.Context, jobs []client.FillRequest, out []client.BatchItem) {
+// into the aligned out slice and returning the shard's dispatch trace
+// (Lo/Hi are the caller's to fill).
+func (co *Coordinator) runShard(ctx context.Context, jobs []client.FillRequest, out []client.BatchItem) server.ShardTrace {
+	start := time.Now()
 	co.met.shards.Add(1)
 	sub := client.BatchRequest{Jobs: jobs}
-	resp, err := dispatch(co, ctx, len(jobs), func(ctx context.Context, c *client.Client) (*client.BatchResponse, error) {
+	resp, info, err := dispatch(co, ctx, len(jobs), affinityKey(sub), func(ctx context.Context, c *client.Client) (*client.BatchResponse, error) {
 		return c.Batch(ctx, sub)
 	})
+	tr := server.ShardTrace{
+		Worker:   info.Worker,
+		Attempts: info.Attempts,
+		Hedged:   info.Hedged,
+		WorkerNS: info.WorkerNS,
+	}
 	if err != nil && co.fallbackEligible(ctx, err) {
 		co.met.fallbacks.Add(1)
+		tr.FellBack, tr.Worker = true, ""
 		resp, err = co.local.Batch(ctx, sub)
 	}
+	tr.DispatchNS = time.Since(start).Nanoseconds()
+	co.shardLatency.Observe(time.Duration(tr.DispatchNS))
 	if err != nil {
 		co.met.shardFailures.Add(1)
 		if co.cfg.Log != nil {
@@ -426,7 +548,7 @@ func (co *Coordinator) runShard(ctx context.Context, jobs []client.FillRequest, 
 		for i := range out {
 			out[i] = client.BatchItem{Error: msg}
 		}
-		return
+		return tr
 	}
 	if len(resp.Results) != len(jobs) {
 		// A worker answering the wrong shape is a protocol violation;
@@ -436,7 +558,8 @@ func (co *Coordinator) runShard(ctx context.Context, jobs []client.FillRequest, 
 		for i := range out {
 			out[i] = client.BatchItem{Error: msg}
 		}
-		return
+		return tr
 	}
 	copy(out, resp.Results)
+	return tr
 }

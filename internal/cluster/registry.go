@@ -42,9 +42,15 @@ type worker struct {
 
 	mu      sync.Mutex
 	healthy bool
-	fails   int          // consecutive failed heartbeats
-	stats   client.Stats // last successful /stats poll
-	polled  time.Time    // when stats was taken
+	// gen is the worker's ejection generation: markDown bumps it, and a
+	// heartbeat sweep only applies its result if the generation it read
+	// at poll time still holds. Without it a sweep that polled the
+	// worker just before a mid-dispatch transport failure ejected it
+	// would land afterwards and readmit the zombie with stale health.
+	gen    uint64
+	fails  int          // consecutive failed heartbeats
+	stats  client.Stats // last successful /stats poll
+	polled time.Time    // when stats was taken
 	// outstanding counts jobs this coordinator has dispatched to the
 	// worker and not yet seen answered. It is the live component of
 	// the load score: /stats polls lag by up to a heartbeat interval,
@@ -73,7 +79,40 @@ func (w *worker) addOutstanding(n int) {
 func (w *worker) markDown() {
 	w.mu.Lock()
 	w.healthy = false
+	w.gen++
 	w.mu.Unlock()
+}
+
+// beginSweep returns the ejection generation a heartbeat sweep must
+// present back to applySweep.
+func (w *worker) beginSweep() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.gen
+}
+
+// applySweep folds one heartbeat result into the worker's health
+// state — unless the worker was marked down after the sweep began
+// (generation mismatch), in which case the result describes a worker
+// that has since died and is discarded. The next sweep, which starts
+// at the new generation, readmits the worker if it truly recovered.
+func (w *worker) applySweep(gen uint64, st *client.Stats, err error, failThreshold int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if gen != w.gen {
+		return
+	}
+	if err != nil {
+		w.fails++
+		if w.fails >= failThreshold {
+			w.healthy = false
+		}
+		return
+	}
+	w.fails = 0
+	w.healthy = true
+	w.stats = *st
+	w.polled = time.Now()
 }
 
 func (w *worker) isHealthy() bool {
@@ -105,6 +144,9 @@ type WorkerStatus struct {
 type registry struct {
 	cfg     RegistryConfig
 	workers []*worker
+	// onHeartbeat, when set before run, observes every worker poll's
+	// round-trip time and outcome — the /metrics heartbeat histogram.
+	onHeartbeat func(rtt time.Duration, ok bool)
 }
 
 // newRegistry builds a registry over the given worker base URLs.
@@ -151,25 +193,18 @@ func (r *registry) sweep(ctx context.Context) {
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
+			gen := w.beginSweep()
 			hctx, cancel := context.WithTimeout(ctx, r.cfg.HeartbeatTimeout)
 			defer cancel()
+			start := time.Now()
 			st, err := w.c.Stats(hctx)
 			if err == nil {
 				err = w.c.Healthz(hctx)
 			}
-			w.mu.Lock()
-			defer w.mu.Unlock()
-			if err != nil {
-				w.fails++
-				if w.fails >= r.cfg.FailThreshold {
-					w.healthy = false
-				}
-				return
+			if r.onHeartbeat != nil {
+				r.onHeartbeat(time.Since(start), err == nil)
 			}
-			w.fails = 0
-			w.healthy = true
-			w.stats = *st
-			w.polled = time.Now()
+			w.applySweep(gen, st, err, r.cfg.FailThreshold)
 		}(w)
 	}
 	wg.Wait()
@@ -189,6 +224,42 @@ func (r *registry) pick(exclude map[*worker]bool) *worker {
 		}
 	}
 	return best
+}
+
+// affinityTarget returns the worker that rendezvous-hashes highest
+// for key among the WHOLE fleet, healthy or not — hashing over all
+// workers keeps the mapping stable while a worker bounces, so its
+// result cache is warm again the moment it is readmitted. The caller
+// checks health/exclusion itself and falls back to least-loaded when
+// the target is unavailable. Returns nil only for an empty fleet or a
+// zero key (no affinity requested).
+func (r *registry) affinityTarget(key uint64) *worker {
+	if key == 0 {
+		return nil
+	}
+	var best *worker
+	var bestScore uint64
+	for _, w := range r.workers {
+		// Highest-random-weight score: hash(worker, key) via FNV-1a
+		// folding the shard key into the worker URL's hash.
+		h := fnv1a64(w.url)
+		h ^= key
+		h *= 1099511628211 // FNV prime, one more mixing round
+		if best == nil || h > bestScore {
+			best, bestScore = w, h
+		}
+	}
+	return best
+}
+
+// fnv1a64 is the 64-bit FNV-1a hash of s.
+func fnv1a64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // healthyCount returns how many workers are currently admitted.

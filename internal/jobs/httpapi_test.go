@@ -158,12 +158,12 @@ func TestWALReplayOfFailedAndCancelledJobs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	failed, err := m.Submit(json.RawMessage(`"fail"`), 1)
+	failed, err := m.Submit(json.RawMessage(`"fail"`), 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitState(t, m, failed.ID, StateFailed)
-	tocancel, err := m.Submit(json.RawMessage(`"gate"`), 1)
+	tocancel, err := m.Submit(json.RawMessage(`"gate"`), 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}

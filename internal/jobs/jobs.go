@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -86,8 +87,28 @@ type StatusList struct {
 // Runner executes one job: payload in, result out. It must honor ctx —
 // cancellation (DELETE /v1/jobs/{id}) and manager shutdown both arrive
 // through it — and be deterministic if crash-replayed jobs are to
-// answer identically to the run the crash lost.
+// answer identically to the run the crash lost. The context carries a
+// progress reporter (Progress); runners that can see partial
+// completion call it so watchers stream per-shard progress.
 type Runner func(ctx context.Context, payload json.RawMessage) (json.RawMessage, error)
+
+type progressKey struct{}
+
+// withProgress returns a context carrying a progress reporter.
+func withProgress(ctx context.Context, fn func(done int)) context.Context {
+	return context.WithValue(ctx, progressKey{}, fn)
+}
+
+// Progress returns the context's progress reporter — the callback a
+// Runner invokes with the number of work items completed so far. It
+// never returns nil: without a reporter on the context the callback is
+// a no-op, so runners call it unconditionally.
+func Progress(ctx context.Context) func(done int) {
+	if fn, ok := ctx.Value(progressKey{}).(func(int)); ok {
+		return fn
+	}
+	return func(int) {}
+}
 
 // RunJSON adapts a typed batch executor into a Runner: the journaled
 // payload decodes into Req, run executes it, and the response is
@@ -167,6 +188,7 @@ var (
 // included — is the job's position in the manager's jobs slice.
 type job struct {
 	id       string
+	key      string // idempotency key; "" when the submit carried none
 	payload  json.RawMessage
 	state    State
 	created  time.Time
@@ -208,6 +230,8 @@ type Manager struct {
 
 	mu         sync.Mutex
 	byID       map[string]*job
+	byKey      map[string]*job // idempotency key -> job, while retained
+	watchers   map[string][]*watcher
 	jobs       []*job // creation order; retention evicts from the front
 	queue      []*job // FIFO of jobs awaiting a worker
 	closed     bool
@@ -219,6 +243,8 @@ type Manager struct {
 	stop   context.CancelFunc
 	wg     sync.WaitGroup
 	active int // jobs queued or running, for admission control
+
+	walAppends atomic.Uint64 // journal records written since Open
 }
 
 // Open builds a Manager, replays the journal when cfg.Dir is set —
@@ -232,11 +258,13 @@ func Open(cfg Config) (*Manager, error) {
 	}
 	ctx, stop := context.WithCancel(context.Background())
 	m := &Manager{
-		cfg:  cfg,
-		byID: make(map[string]*job),
-		wake: make(chan struct{}, 1),
-		ctx:  ctx,
-		stop: stop,
+		cfg:      cfg,
+		byID:     make(map[string]*job),
+		byKey:    make(map[string]*job),
+		watchers: make(map[string][]*watcher),
+		wake:     make(chan struct{}, 1),
+		ctx:      ctx,
+		stop:     stop,
 	}
 	if cfg.Dir != "" {
 		w, recs, err := openWAL(cfg.Dir)
@@ -271,12 +299,18 @@ func (m *Manager) replay(recs []record) {
 			}
 			j := &job{
 				id:      rec.ID,
+				key:     rec.Key,
 				payload: rec.Payload,
 				state:   StateQueued,
 				created: rec.Created,
 				total:   rec.Total,
 			}
 			m.byID[j.id] = j
+			if j.key != "" {
+				// Replayed dedupe state: a client retrying a submit
+				// across a daemon restart still gets the original job.
+				m.byKey[j.key] = j
+			}
 			m.jobs = append(m.jobs, j)
 		case "done", "fail", "cancel":
 			j, ok := m.byID[rec.ID]
@@ -312,7 +346,7 @@ func (m *Manager) replay(recs []record) {
 func (m *Manager) liveRecords() []record {
 	var recs []record
 	for _, j := range m.jobs {
-		recs = append(recs, record{Op: "accept", ID: j.id, Created: j.created, Total: j.total, Payload: j.payload})
+		recs = append(recs, record{Op: "accept", ID: j.id, Key: j.key, Created: j.created, Total: j.total, Payload: j.payload})
 		if rec, ok := terminalRecord(j); ok {
 			recs = append(recs, rec)
 		}
@@ -349,6 +383,11 @@ func (m *Manager) enforceRetention() {
 	for _, j := range m.jobs {
 		if settled > m.cfg.Retention && j.state.Terminal() {
 			delete(m.byID, j.id)
+			if j.key != "" && m.byKey[j.key] == j {
+				// The dedupe window is the retention window: once the
+				// job is unqueryable, a same-key resubmit runs fresh.
+				delete(m.byKey, j.key)
+			}
 			settled--
 			continue
 		}
@@ -371,15 +410,29 @@ func newID() string {
 // a crash after Submit answers can no longer lose it. total is the
 // job's work-item count, echoed as progress denominator.
 //
+// key, when non-empty, is the client-minted idempotency key: a submit
+// whose key matches a retained job returns that job's snapshot (same
+// ID) instead of minting a duplicate — the contract that makes
+// retrying POST /v1/jobs after a lost response safe. The key is
+// journaled with the accept record, so dedupe survives a restart; it
+// expires with the job when retention evicts it.
+//
 // The journal append (an fsync) runs outside the manager lock, so
 // concurrent Get/List/Cancel calls never stall behind the disk: the
 // admission slot is reserved first, and the job only becomes visible
 // once its accept record is durable.
-func (m *Manager) Submit(payload json.RawMessage, total int) (Status, error) {
+func (m *Manager) Submit(payload json.RawMessage, total int, key string) (Status, error) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		return Status{}, ErrClosed
+	}
+	if key != "" {
+		if dup, ok := m.byKey[key]; ok {
+			st := dup.status(false)
+			m.mu.Unlock()
+			return st, nil
+		}
 	}
 	if m.active >= m.cfg.MaxQueued {
 		active := m.active
@@ -394,21 +447,32 @@ func (m *Manager) Submit(payload json.RawMessage, total int) (Status, error) {
 	m.submitting++
 	j := &job{
 		id:      newID(),
+		key:     key,
 		payload: payload,
 		state:   StateQueued,
 		created: time.Now().UTC(),
 		total:   total,
 	}
+	if key != "" {
+		// Reserve the key before the journal fsync so a duplicate
+		// racing this submit dedupes against it instead of minting a
+		// second job; every identifying field of j is already set.
+		m.byKey[key] = j
+	}
 	m.mu.Unlock()
 	if m.wal != nil {
-		rec := record{Op: "accept", ID: j.id, Created: j.created, Total: j.total, Payload: j.payload}
+		rec := record{Op: "accept", ID: j.id, Key: j.key, Created: j.created, Total: j.total, Payload: j.payload}
 		if err := m.wal.append(rec); err != nil {
 			m.mu.Lock()
 			m.active--
 			m.submitting--
+			if key != "" && m.byKey[key] == j {
+				delete(m.byKey, key)
+			}
 			m.mu.Unlock()
 			return Status{}, err
 		}
+		m.walAppends.Add(1)
 	}
 	// Snapshot before the job becomes visible: a worker may pick it up
 	// the instant it enters the queue.
@@ -421,6 +485,9 @@ func (m *Manager) Submit(payload json.RawMessage, total int) (Status, error) {
 		// the next Open; this caller gets ErrClosed, not a dead 202.
 		m.active--
 		m.submitting--
+		if key != "" && m.byKey[key] == j {
+			delete(m.byKey, key)
+		}
 		m.mu.Unlock()
 		return Status{}, ErrClosed
 	}
@@ -511,7 +578,110 @@ func (m *Manager) applySettleLocked(j *job, state State, result json.RawMessage,
 		j.done = j.total
 	}
 	m.active--
+	m.notifyLocked(j)
 	m.enforceRetention()
+}
+
+// watcher is one GET /v1/jobs/{id}?watch=1 subscription: a buffered
+// channel of status snapshots. Senders never block — when the buffer
+// is full the oldest pending snapshot is dropped, so a slow consumer
+// sees a thinned event stream but always the latest state, and always
+// the terminal one (nothing is sent after it).
+type watcher struct {
+	ch     chan Status
+	closed bool
+}
+
+// Watch subscribes to a job's lifecycle: the returned channel first
+// delivers the job's current snapshot, then one snapshot per state
+// transition or progress update, and is closed after the terminal
+// snapshot (which carries the result). The cancel function releases
+// the subscription early; it is safe to call more than once.
+func (m *Manager) Watch(id string) (<-chan Status, func(), error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.byID[id]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	w := &watcher{ch: make(chan Status, 16)}
+	w.ch <- j.status(j.state.Terminal())
+	if j.state.Terminal() || m.closed {
+		w.closed = true
+		close(w.ch)
+		return w.ch, func() {}, nil
+	}
+	m.watchers[id] = append(m.watchers[id], w)
+	cancel := func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if w.closed {
+			return
+		}
+		w.closed = true
+		close(w.ch)
+		ws := m.watchers[id]
+		for i, o := range ws {
+			if o == w {
+				m.watchers[id] = append(ws[:i], ws[i+1:]...)
+				break
+			}
+		}
+		if len(m.watchers[id]) == 0 {
+			delete(m.watchers, id)
+		}
+	}
+	return w.ch, cancel, nil
+}
+
+// notifyLocked pushes a job's current snapshot to its watchers,
+// closing them after a terminal snapshot. Callers hold mu.
+func (m *Manager) notifyLocked(j *job) {
+	ws := m.watchers[j.id]
+	if len(ws) == 0 {
+		return
+	}
+	terminal := j.state.Terminal()
+	st := j.status(terminal)
+	for _, w := range ws {
+		select {
+		case w.ch <- st:
+		default:
+			// Full buffer: drop the oldest pending snapshot to stay
+			// non-blocking while preserving delivery of this newer one.
+			select {
+			case <-w.ch:
+			default:
+			}
+			select {
+			case w.ch <- st:
+			default:
+			}
+		}
+		if terminal {
+			w.closed = true
+			close(w.ch)
+		}
+	}
+	if terminal {
+		delete(m.watchers, j.id)
+	}
+}
+
+// setProgress advances a running job's done count and notifies
+// watchers. Regressions and post-settle reports are ignored — shard
+// completions racing the job's own settle must never resurrect it.
+func (m *Manager) setProgress(j *job, done int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j.state != StateRunning || done <= j.done {
+		return
+	}
+	if done > j.total {
+		done = j.total
+	}
+	j.done = done
+	m.notifyLocked(j)
 }
 
 // journalSettle appends a job's terminal record; fsync latency is paid
@@ -536,10 +706,32 @@ func (m *Manager) journalSettle(id string, state State, finished time.Time, resu
 	if err := m.wal.append(rec); err != nil {
 		return
 	}
+	m.walAppends.Add(1)
 	m.mu.Lock()
 	m.appended++
 	m.mu.Unlock()
 	m.maybeCompact()
+}
+
+// WALAppends counts journal records written since Open — the
+// dpfill_wal_records_total metric.
+func (m *Manager) WALAppends() uint64 { return m.walAppends.Load() }
+
+// JournalBytes is the journal file's current size, 0 without
+// persistence — the journal-size gauge.
+func (m *Manager) JournalBytes() int64 {
+	if m.wal == nil {
+		return 0
+	}
+	return m.wal.size()
+}
+
+// Occupancy returns the queue's live view: jobs queued or running
+// (the admission-controlled count) and jobs retained in total.
+func (m *Manager) Occupancy() (active, retained int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.active, len(m.jobs)
 }
 
 // compactThreshold is how many journal appends accumulate before the
@@ -609,6 +801,7 @@ func (m *Manager) next() *job {
 			}
 			j.state = StateRunning
 			j.started = time.Now().UTC()
+			m.notifyLocked(j)
 			more := len(m.queue) > 0
 			m.mu.Unlock()
 			// Chain the wakeup: wake is buffered(1), so a burst of
@@ -647,7 +840,11 @@ func (m *Manager) run(j *job) {
 		cancel()
 	}
 	m.mu.Unlock()
-	result, err := m.cfg.Runner(jctx, j.payload)
+	// The progress reporter rides the Runner's context: shard-aware
+	// runners (the coordinator's fleet dispatch) report per-shard
+	// completion, and watchers stream it as SSE progress events.
+	pctx := withProgress(jctx, func(done int) { m.setProgress(j, done) })
+	result, err := m.cfg.Runner(pctx, j.payload)
 	cancel()
 	m.mu.Lock()
 	j.cancel = nil
@@ -660,6 +857,7 @@ func (m *Manager) run(j *job) {
 		// Shutdown: revert to queued, journal untouched — replay re-runs.
 		j.state = StateQueued
 		j.started = time.Time{}
+		j.done = 0
 	case err != nil:
 		m.applySettleLocked(j, StateFailed, nil, err.Error())
 		settled = StateFailed
@@ -687,6 +885,20 @@ func (m *Manager) Close() error {
 	m.mu.Unlock()
 	m.stop()
 	m.wg.Wait()
+	// Release watchers: their jobs will not settle in this process, so
+	// the streams end here (clients fall back to polling the next
+	// incarnation, which replays the journal).
+	m.mu.Lock()
+	for id, ws := range m.watchers {
+		for _, w := range ws {
+			if !w.closed {
+				w.closed = true
+				close(w.ch)
+			}
+		}
+		delete(m.watchers, id)
+	}
+	m.mu.Unlock()
 	if m.wal != nil {
 		return m.wal.close()
 	}

@@ -62,7 +62,7 @@ func TestSubmitRunsAndRetainsResult(t *testing.T) {
 	}
 	defer m.Close()
 	payload := json.RawMessage(`{"jobs":[1,2,3]}`)
-	st, err := m.Submit(payload, 3)
+	st, err := m.Submit(payload, 3, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestRunnerErrorFailsJob(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	st, err := m.Submit(json.RawMessage(`{}`), 1)
+	st, err := m.Submit(json.RawMessage(`{}`), 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,12 +111,12 @@ func TestCancelQueuedJobNeverRuns(t *testing.T) {
 	}
 	defer m.Close()
 	// First job occupies the single worker; the second stays queued.
-	first, err := m.Submit(json.RawMessage(`1`), 1)
+	first, err := m.Submit(json.RawMessage(`1`), 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitState(t, m, first.ID, StateRunning)
-	second, err := m.Submit(json.RawMessage(`2`), 1)
+	second, err := m.Submit(json.RawMessage(`2`), 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestCancelRunningJobInterruptsRunner(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	st, err := m.Submit(json.RawMessage(`1`), 1)
+	st, err := m.Submit(json.RawMessage(`1`), 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,18 +169,18 @@ func TestQueueFullAdmission(t *testing.T) {
 	}
 	defer m.Close()
 	for i := 0; i < 2; i++ {
-		if _, err := m.Submit(json.RawMessage(`1`), 1); err != nil {
+		if _, err := m.Submit(json.RawMessage(`1`), 1, ""); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := m.Submit(json.RawMessage(`1`), 1); !errors.Is(err, ErrQueueFull) {
+	if _, err := m.Submit(json.RawMessage(`1`), 1, ""); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("third submit: %v, want ErrQueueFull", err)
 	}
 	// Settling a job frees its admission slot.
 	close(r.gate)
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if _, err := m.Submit(json.RawMessage(`1`), 1); err == nil {
+		if _, err := m.Submit(json.RawMessage(`1`), 1, ""); err == nil {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -199,7 +199,7 @@ func TestRetentionEvictsOldestSettled(t *testing.T) {
 	defer m.Close()
 	ids := make([]string, 6)
 	for i := range ids {
-		st, err := m.Submit(json.RawMessage(fmt.Sprintf(`%d`, i)), 1)
+		st, err := m.Submit(json.RawMessage(fmt.Sprintf(`%d`, i)), 1, "")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -229,7 +229,7 @@ func TestWALReplayServesSettledResults(t *testing.T) {
 		t.Fatal(err)
 	}
 	payload := json.RawMessage(`{"jobs":["a"]}`)
-	st, err := m.Submit(payload, 1)
+	st, err := m.Submit(payload, 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +267,7 @@ func TestWALReplayRerunsUnsettledJob(t *testing.T) {
 		t.Fatal(err)
 	}
 	payload := json.RawMessage(`{"jobs":["crash"]}`)
-	st, err := m.Submit(payload, 1)
+	st, err := m.Submit(payload, 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +299,7 @@ func TestWALTornTailIsDropped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := m.Submit(json.RawMessage(`1`), 1)
+	st, err := m.Submit(json.RawMessage(`1`), 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +339,7 @@ func TestWALCompactionDropsEvictedHistory(t *testing.T) {
 	}
 	var last string
 	for i := 0; i < 5; i++ {
-		st, err := m.Submit(json.RawMessage(fmt.Sprintf(`%d`, i)), 1)
+		st, err := m.Submit(json.RawMessage(fmt.Sprintf(`%d`, i)), 1, "")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -381,7 +381,7 @@ func TestOnlineCompactionBoundsJournal(t *testing.T) {
 	}
 	var last string
 	for i := 0; i < 40; i++ {
-		st, err := m.Submit(json.RawMessage(fmt.Sprintf(`%d`, i)), 1)
+		st, err := m.Submit(json.RawMessage(fmt.Sprintf(`%d`, i)), 1, "")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -427,11 +427,11 @@ func TestBurstSubmitsReachAllWorkers(t *testing.T) {
 	// Two back-to-back submits can collapse into one token on the
 	// buffered wake channel; both jobs must still start concurrently —
 	// the first worker re-signals while the queue is non-empty.
-	a, err := m.Submit(json.RawMessage(`1`), 1)
+	a, err := m.Submit(json.RawMessage(`1`), 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := m.Submit(json.RawMessage(`2`), 1)
+	b, err := m.Submit(json.RawMessage(`2`), 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -484,7 +484,7 @@ func TestSubmitAfterCloseRefused(t *testing.T) {
 	if err := m.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Submit(json.RawMessage(`1`), 1); !errors.Is(err, ErrClosed) {
+	if _, err := m.Submit(json.RawMessage(`1`), 1, ""); !errors.Is(err, ErrClosed) {
 		t.Fatalf("submit after close: %v, want ErrClosed", err)
 	}
 	if err := m.Close(); err != nil {

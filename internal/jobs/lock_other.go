@@ -1,0 +1,9 @@
+//go:build !unix
+
+package jobs
+
+import "os"
+
+// lockFile is a no-op where flock is unavailable: the single-owner
+// journal contract is then the operator's to keep.
+func lockFile(*os.File) error { return nil }

@@ -1,0 +1,35 @@
+//go:build unix
+
+package jobs
+
+import (
+	"strings"
+	"testing"
+)
+
+// A second open of the same data dir must be refused while the first
+// owner is alive: its startup compaction would rename a rewritten
+// journal over the live one and orphan the first owner's append
+// handle, silently losing fsync'd accept records.
+func TestWALRefusesSecondOwner(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := openWAL(dir)
+	if err != nil {
+		t.Fatalf("first open: %v", err)
+	}
+	if _, _, err := openWAL(dir); err == nil {
+		t.Fatal("second open of a held data dir succeeded; want refusal")
+	} else if !strings.Contains(err.Error(), "locked by another process") {
+		t.Fatalf("second open error = %v; want a locked-by-another-process error", err)
+	}
+	// Releasing the first owner frees the directory for a successor —
+	// the restart path the fleet smoke exercises.
+	if err := w.close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	w2, _, err := openWAL(dir)
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	w2.close()
+}

@@ -1,0 +1,21 @@
+//go:build unix
+
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive, non-blocking flock on f. The kernel
+// releases the lock when the process exits — kill -9 included — so a
+// crashed daemon never strands a stale lock.
+func lockFile(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if errors.Is(err, syscall.EWOULDBLOCK) {
+		return fmt.Errorf("jobs: journal %s is locked by another process (two daemons sharing one data dir would silently lose accepted jobs)", f.Name())
+	}
+	return err
+}

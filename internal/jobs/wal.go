@@ -11,8 +11,12 @@ import (
 	"time"
 )
 
-// walName is the journal file inside the manager's data directory.
-const walName = "jobs.wal"
+// walName is the journal file inside the manager's data directory;
+// lockName is the flock target that pins the directory to one owner.
+const (
+	walName  = "jobs.wal"
+	lockName = "jobs.lock"
+)
 
 // record is one write-ahead-log entry. The journal is append-only
 // JSONL: an "accept" record makes a submitted job durable before the
@@ -25,7 +29,9 @@ const walName = "jobs.wal"
 type record struct {
 	Op string `json:"op"` // accept | done | fail | cancel
 	ID string `json:"id"`
-	// Accept fields.
+	// Accept fields. Key is the client's idempotency key, journaled so
+	// submit dedupe survives a restart.
+	Key     string          `json:"key,omitempty"`
 	Created time.Time       `json:"created,omitzero"`
 	Total   int             `json:"total,omitempty"`
 	Payload json.RawMessage `json:"payload,omitempty"`
@@ -43,6 +49,7 @@ type wal struct {
 	path string
 	mu   sync.Mutex
 	f    *os.File
+	lock *os.File // held flock pinning the data dir to this process
 }
 
 // openWAL opens (creating if needed) the journal under dir and returns
@@ -50,20 +57,39 @@ type wal struct {
 // a crash mid-append — is dropped silently: the record never became
 // durable, so the job it settled (or created) is simply re-run (or was
 // never acknowledged).
+//
+// The directory is pinned to one process via an flock on a sidecar
+// lock file, taken before the journal is even read. Without it, a
+// second daemon on the same -data-dir would run startup compaction and
+// rename a rewritten journal over the live one while the first daemon
+// still appends to the old inode — its fsync'd accepts silently
+// orphaned. The lock file (not the journal itself) carries the flock
+// because compaction renames the journal, which would strand the lock
+// on the replaced inode.
 func openWAL(dir string) (*wal, []record, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("jobs: creating data dir: %w", err)
 	}
+	lock, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobs: opening journal lock: %w", err)
+	}
+	if err := lockFile(lock); err != nil {
+		lock.Close()
+		return nil, nil, err
+	}
 	path := filepath.Join(dir, walName)
 	recs, err := readWAL(path)
 	if err != nil {
+		lock.Close()
 		return nil, nil, err
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		lock.Close()
 		return nil, nil, fmt.Errorf("jobs: opening journal: %w", err)
 	}
-	return &wal{path: path, f: f}, recs, nil
+	return &wal{path: path, f: f, lock: lock}, recs, nil
 }
 
 // readWAL parses every complete record of the journal at path; a
@@ -182,5 +208,24 @@ func (w *wal) rewriteLocked(recs []record) error {
 	return nil
 }
 
-// close releases the journal's file handle.
-func (w *wal) close() error { return w.f.Close() }
+// size reports the journal file's current length in bytes — the
+// /metrics journal-size gauge. 0 when the file cannot be statted.
+func (w *wal) size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	fi, err := w.f.Stat()
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
+// close releases the journal's file handle and the ownership lock
+// (closing the lock file drops its flock).
+func (w *wal) close() error {
+	err := w.f.Close()
+	if cerr := w.lock.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,8 +1,15 @@
-// Package reqid carries request identifiers across the fill fleet.
-// The coordinator mints one ID per incoming request, the HTTP client
-// forwards it on every hop, and workers echo it in responses and
-// access logs, so one grep correlates a request's path through every
-// node it touched.
+// Package reqid carries request tracing across the fill fleet. Every
+// request owns a trace: a trace ID minted at the edge (coordinator or
+// worker, whichever is hit first) plus one span ID per hop. The
+// coordinator's hop and each worker's hop of the same request share
+// the trace ID and parent/child span IDs, so one grep over the fleet's
+// access logs reconstructs the request's full path and timing.
+//
+// Wire format: the trace ID travels in X-Request-ID (kept from the
+// pre-tracing fleet, so old and new nodes interoperate) and the
+// calling hop's span ID in X-Parent-Span. Middleware mints this hop's
+// own span ID; internal/client forwards both headers on every
+// outbound hop.
 package reqid
 
 import (
@@ -14,10 +21,15 @@ import (
 	"time"
 )
 
-// Header is the HTTP header the fleet propagates request IDs in.
+// Header is the HTTP header the fleet propagates trace IDs in.
 const Header = "X-Request-ID"
 
-// New returns a fresh 16-hex-character request ID.
+// ParentHeader carries the calling hop's span ID, so the receiving
+// hop can record its parent.
+const ParentHeader = "X-Parent-Span"
+
+// New returns a fresh 16-hex-character identifier, used for both
+// trace and span IDs.
 func New() string {
 	var b [8]byte
 	if _, err := rand.Read(b[:]); err != nil {
@@ -28,33 +40,63 @@ func New() string {
 	return hex.EncodeToString(b[:])
 }
 
+// Trace is one hop's view of a request's trace context.
+type Trace struct {
+	// ID is the trace ID, constant across every hop of one request.
+	ID string
+	// Span is this hop's own span ID.
+	Span string
+	// Parent is the calling hop's span ID; empty at the edge.
+	Parent string
+}
+
 type ctxKey struct{}
 
-// With returns a context carrying the request ID.
+// With returns a context carrying a trace with the given trace ID and
+// no span — the pre-tracing entry point, kept for callers that only
+// correlate by request ID.
 func With(ctx context.Context, id string) context.Context {
-	return context.WithValue(ctx, ctxKey{}, id)
+	return WithTrace(ctx, Trace{ID: id})
 }
 
-// From returns the context's request ID, or "" when none was set.
+// WithTrace returns a context carrying the full trace context.
+func WithTrace(ctx context.Context, tr Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, tr)
+}
+
+// From returns the context's trace ID, or "" when none was set.
 func From(ctx context.Context) string {
-	id, _ := ctx.Value(ctxKey{}).(string)
-	return id
+	return TraceFrom(ctx).ID
 }
 
-// Middleware wraps an HTTP handler with the fleet's request-ID
-// contract: an incoming Header value is echoed on the response (and
-// minted when absent), carried on the request context for downstream
-// hops, and — when logger is non-nil — written in one access-log line
-// per request (method, path, status, duration, ID). Both the worker
-// and the coordinator serve through this, so their logs correlate.
+// TraceFrom returns the context's trace context; the zero Trace when
+// none was set.
+func TraceFrom(ctx context.Context) Trace {
+	tr, _ := ctx.Value(ctxKey{}).(Trace)
+	return tr
+}
+
+// Middleware wraps an HTTP handler with the fleet's tracing contract:
+// an incoming Header value is the trace ID (echoed on the response,
+// minted when absent), an incoming ParentHeader value is recorded as
+// this hop's parent span, and a fresh span ID is minted for the hop
+// itself. The full trace rides the request context for downstream
+// hops, and — when logger is non-nil — every request writes one
+// access-log line: method, path, status, duration, trace ID, span ID
+// and parent span. Both the worker and the coordinator serve through
+// this, so their log lines join on rid= and nest by span=/parent=.
 func Middleware(logger *log.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		id := r.Header.Get(Header)
-		if id == "" {
-			id = New()
+		tr := Trace{
+			ID:     r.Header.Get(Header),
+			Span:   New(),
+			Parent: r.Header.Get(ParentHeader),
 		}
-		w.Header().Set(Header, id)
-		r = r.WithContext(With(r.Context(), id))
+		if tr.ID == "" {
+			tr.ID = New()
+		}
+		w.Header().Set(Header, tr.ID)
+		r = r.WithContext(WithTrace(r.Context(), tr))
 		if logger == nil {
 			next.ServeHTTP(w, r)
 			return
@@ -62,9 +104,13 @@ func Middleware(logger *log.Logger, next http.Handler) http.Handler {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(sw, r)
-		logger.Printf("%s %s %d %.2fms rid=%s",
+		parent := tr.Parent
+		if parent == "" {
+			parent = "-"
+		}
+		logger.Printf("%s %s %d %.2fms rid=%s span=%s parent=%s",
 			r.Method, r.URL.Path, sw.status,
-			float64(time.Since(start).Microseconds())/1000, id)
+			float64(time.Since(start).Microseconds())/1000, tr.ID, tr.Span, parent)
 	})
 }
 
@@ -78,4 +124,13 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(status int) {
 	w.status = status
 	w.ResponseWriter.WriteHeader(status)
+}
+
+// Flush forwards to the underlying writer when it supports streaming,
+// so SSE responses (GET /v1/jobs/{id}?watch=1) flush through the
+// access-log wrapper instead of buffering until the job settles.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }

@@ -78,6 +78,10 @@ type FillResponse struct {
 // one engine batch with per-job failure isolation.
 type BatchRequest struct {
 	Jobs []FillRequest `json:"jobs"`
+	// Debug asks a coordinator to include the per-shard dispatch
+	// breakdown (Shards) in the response. A single worker ignores it:
+	// it has no shards to report.
+	Debug bool `json:"debug,omitempty"`
 }
 
 // BatchItem is one slot of a batch response: exactly one of Result and
@@ -87,11 +91,38 @@ type BatchItem struct {
 	Error  string        `json:"error,omitempty"`
 }
 
+// ShardTrace is one shard's dispatch timing breakdown: where a slice
+// of a batch went and how long each layer took. Coordinators record
+// one per shard — in the batch response when BatchRequest.Debug is
+// set, and in /stats' bounded recent-shards ring always.
+type ShardTrace struct {
+	// Lo and Hi bound the shard's jobs in the submitted batch: [Lo, Hi).
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// Worker is the answering worker's base URL; empty when every
+	// attempt failed or the local fallback answered.
+	Worker string `json:"worker,omitempty"`
+	// Attempts counts worker launches, hedge included.
+	Attempts int `json:"attempts"`
+	// Hedged and FellBack flag a duplicate straggler attempt and a
+	// local-engine fallback answer.
+	Hedged   bool `json:"hedged,omitempty"`
+	FellBack bool `json:"fell_back,omitempty"`
+	// DispatchNS is the shard's total wall-clock time in the
+	// coordinator (queueing, failover, fallback included); WorkerNS is
+	// the winning worker call alone. Their gap is coordination cost.
+	DispatchNS int64 `json:"dispatch_ns"`
+	WorkerNS   int64 `json:"worker_ns,omitempty"`
+}
+
 // BatchResponse is the POST /v1/batch result payload. Results align
 // with the submitted jobs.
 type BatchResponse struct {
 	Results []BatchItem `json:"results"`
 	Failed  int         `json:"failed"`
+	// Shards is the coordinator's per-shard dispatch breakdown, present
+	// only when the request set Debug (and the answerer shards work).
+	Shards []ShardTrace `json:"shards,omitempty"`
 }
 
 // GridRequest is the POST /v1/grid payload: evaluate every Table II–IV

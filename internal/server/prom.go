@@ -1,0 +1,78 @@
+package server
+
+import (
+	prom "repro/internal/metrics"
+)
+
+// newProm builds the worker's Prometheus registry. Counters and gauges
+// read at scrape time from the state the service already maintains —
+// the mutex-guarded /stats accounting, the engine's occupancy, the job
+// journal — so serving hot paths gain no new synchronization; the one
+// eagerly-fed series is the fill-latency histogram, whose Observe is
+// atomic-only.
+func (s *Server) newProm() *prom.Registry {
+	r := prom.NewRegistry()
+	m := s.met
+	r.CounterFunc("dpfill_jobs_total",
+		"Fill jobs answered, cache hits included.", m.jobsTotal)
+	r.CounterFunc("dpfill_errors_total",
+		"Jobs that ended in an error response.", m.errorsTotal)
+	r.CounterFunc("dpfill_cache_hits_total",
+		"Result-cache lookups answered from the LRU.", m.cacheHitsTotal)
+	r.CounterFunc("dpfill_cache_misses_total",
+		"Result-cache lookups that ran the engine.", m.cacheMissesTotal)
+	r.GaugeFunc("dpfill_cache_entries",
+		"Current result-cache LRU entry count.",
+		func() float64 { return float64(s.cache.Len()) })
+	r.GaugeFunc("dpfill_queue_depth",
+		"Engine jobs accepted but waiting for a worker slot.",
+		func() float64 { q, _ := s.eng.Load(); return float64(q) })
+	r.GaugeFunc("dpfill_inflight",
+		"Engine jobs executing right now.",
+		func() float64 { _, f := s.eng.Load(); return float64(f) })
+	r.GaugeFunc("dpfill_engine_workers",
+		"Machine-wide engine worker bound.",
+		func() float64 { return float64(s.eng.Workers) })
+	m.fillLatency = r.Histogram("dpfill_fill_latency_seconds",
+		"Per-job wall-clock latency, cache hits included.", prom.DefBuckets)
+	r.GaugeFunc("dpfill_async_jobs_active",
+		"Async jobs queued or running.",
+		func() float64 { active, _ := s.jobs.Occupancy(); return float64(active) })
+	r.GaugeFunc("dpfill_async_jobs_retained",
+		"Settled async jobs still queryable.",
+		func() float64 { _, retained := s.jobs.Occupancy(); return float64(retained) })
+	r.CounterFunc("dpfill_wal_records_total",
+		"Records appended to the async job journal.", s.jobs.WALAppends)
+	r.GaugeFunc("dpfill_wal_journal_bytes",
+		"Async job journal size on disk.",
+		func() float64 { return float64(s.jobs.JournalBytes()) })
+	return r
+}
+
+// Scrape-time accessors over the mutex-guarded serving counters. A
+// scrape takes the stats mutex a handful of times; request hot paths
+// never wait on a scrape longer than one field copy.
+
+func (m *metrics) jobsTotal() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.jobs
+}
+
+func (m *metrics) errorsTotal() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.errors
+}
+
+func (m *metrics) cacheHitsTotal() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cacheHits
+}
+
+func (m *metrics) cacheMissesTotal() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cacheMisses
+}

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestMetricsEndpoint scrapes the worker tier: Prometheus text format
+// 0.0.4 with the serving families present and fed by real traffic.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	req := FillRequest{Name: "m", Cubes: []string{"0X", "X1"}}
+	var out FillResponse
+	if status := post(t, ts.URL+"/v1/fill", req, &out); status != http.StatusOK {
+		t.Fatalf("fill: status %d", status)
+	}
+	// Second identical fill: a cache hit, so both cache counters move.
+	if status := post(t, ts.URL+"/v1/fill", req, &out); status != http.StatusOK {
+		t.Fatalf("fill: status %d", status)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("scrape content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"# TYPE dpfill_jobs_total counter",
+		"# TYPE dpfill_errors_total counter",
+		"# TYPE dpfill_cache_hits_total counter",
+		"# TYPE dpfill_cache_misses_total counter",
+		"# TYPE dpfill_cache_entries gauge",
+		"# TYPE dpfill_queue_depth gauge",
+		"# TYPE dpfill_inflight gauge",
+		"# TYPE dpfill_engine_workers gauge",
+		"# TYPE dpfill_fill_latency_seconds histogram",
+		"# TYPE dpfill_async_jobs_active gauge",
+		"# TYPE dpfill_wal_records_total counter",
+		"# TYPE dpfill_wal_journal_bytes gauge",
+		"dpfill_jobs_total 2\n",
+		"dpfill_cache_hits_total 1\n",
+		"dpfill_cache_misses_total 1\n",
+		"dpfill_engine_workers 2\n",
+		`dpfill_fill_latency_seconds_bucket{le="+Inf"} 2`,
+		"dpfill_fill_latency_seconds_count 2\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("scrape missing %q in:\n%s", want, body)
+		}
+	}
+}

@@ -177,6 +177,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/grid", s.handleGrid)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.Handle("GET /metrics", s.newProm().Handler())
 	jobs.Mount(mux, mgr, s.decodeJobSubmit)
 	s.mux = mux
 	return s, nil
@@ -400,6 +401,11 @@ func (s *Server) validateBatch(req BatchRequest) error {
 // what makes an async job's result byte-identical (cubes, peak,
 // total) to the synchronous answer for the same request.
 func (s *Server) runBatch(ctx context.Context, req BatchRequest) *BatchResponse {
+	// As an async job, the batch reports progress whenever a slice of
+	// items reaches a final outcome: once after the resolve/cache pass,
+	// then per engine result as misses are folded in.
+	progress := jobs.Progress(ctx)
+	done := 0
 	items := make([]BatchItem, len(req.Jobs))
 	resps := make([]FillResponse, len(req.Jobs))
 	starts := make([]time.Time, len(req.Jobs))
@@ -440,10 +446,14 @@ func (s *Server) runBatch(ctx context.Context, req BatchRequest) *BatchResponse 
 		jobIdx = append(jobIdx, i)
 		digests = append(digests, digest)
 	}
+	done = len(req.Jobs) - len(engineJobs) - len(dups)
+	progress(done)
 	results := s.eng.Run(ctx, engineJobs)
 	entries := make([]*cachedFill, len(engineJobs))
 	for k, res := range results {
 		i := jobIdx[k]
+		done++
+		progress(done)
 		if res.Err != nil {
 			items[i] = BatchItem{Error: res.Err.Error()}
 			s.met.observeError()

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	prom "repro/internal/metrics"
 )
 
 // latencyWindow bounds the per-job latency reservoir: percentiles are
@@ -43,7 +45,9 @@ type Stats struct {
 }
 
 // metrics accumulates serving statistics behind one mutex; every field
-// is touched only under mu, so snapshots are consistent.
+// is touched only under mu, so snapshots are consistent. fillLatency
+// additionally mirrors each job's latency into the Prometheus
+// histogram (atomic-only, set once at construction).
 type metrics struct {
 	mu          sync.Mutex
 	start       time.Time
@@ -54,6 +58,7 @@ type metrics struct {
 	lat         [latencyWindow]time.Duration
 	latNext     int
 	latCount    int
+	fillLatency *prom.Histogram
 }
 
 func newMetrics() *metrics {
@@ -91,6 +96,9 @@ func (m *metrics) recordJob(d time.Duration) {
 	m.latNext = (m.latNext + 1) % latencyWindow
 	if m.latCount < latencyWindow {
 		m.latCount++
+	}
+	if m.fillLatency != nil {
+		m.fillLatency.Observe(d)
 	}
 }
 
