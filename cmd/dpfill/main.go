@@ -27,6 +27,17 @@
 // and a server running with -data-dir finishes accepted jobs even
 // across its own restart.
 //
+// With -pipeline the binary runs the full workload the repository
+// models end to end — synthesize or read a netlist, generate test
+// cubes with ATPG, X-fill them, and evaluate shift/capture power and
+// IR-drop — locally, against a server, or fault-sharded across a
+// fleet:
+//
+//	dpfill -pipeline -spec b06
+//	dpfill -pipeline -netlist s27.bench -fill dp -scheme loc -chains 4
+//	dpfill -pipeline -spec b09@0.5 -shards 4 -server http://fill-coord:8090
+//	dpfill -pipeline -spec b06 -server http://fill-coord:8090 -async -follow
+//
 // Orderings: tool, xstat, i, isa. Fills: mt, r, 0, 1, b, adj, xstat, dp.
 package main
 
@@ -86,8 +97,27 @@ func run(args []string, stdout io.Writer) error {
 	async := fs.Bool("async", false, "with -server: submit through the async job API (/v1/jobs) and poll for the result")
 	poll := fs.Duration("poll", 100*time.Millisecond, "async job poll interval (fallback when the server does not stream)")
 	follow := fs.Bool("follow", false, "with -async: print each job's state and progress events as the server pushes them")
+	pipelineMode := fs.Bool("pipeline", false, "run the full netlist -> ATPG -> fill -> power pipeline (needs -spec or -netlist)")
+	spec := fs.String("spec", "", "pipeline: netgen circuit spec — a catalog name (b04), name@factor (b04@0.25), or pis=..,ffs=..,gates=..")
+	netlist := fs.String("netlist", "", "pipeline: ISCAS-89 .bench netlist file")
+	scheme := fs.String("scheme", "", "pipeline: capture scheme los|loc (default los)")
+	chains := fs.Int("chains", 0, "pipeline: scan chain count (0 = 1)")
+	tiles := fs.Int("tiles", 0, "pipeline: IR-drop analysis grid dimension (0 = 4)")
+	shards := fs.Int("shards", 0, "pipeline: ATPG fault shards (0/1 = unsharded; a coordinator fans shards across its fleet)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pipelineMode {
+		if *grid || len(jobs) > 0 || len(fs.Args()) > 0 {
+			return fmt.Errorf("-pipeline takes its input from -spec or -netlist only")
+		}
+		return runPipelineMode(stdout, pipelineOpts{
+			spec: *spec, netlist: *netlist,
+			orderer: *ordName, filler: *fillName, window: *window, seed: *seed,
+			scheme: *scheme, chains: *chains, tiles: *tiles, shards: *shards,
+			server: *serverURL, async: *async, follow: *follow, poll: *poll,
+			out: *out,
+		})
 	}
 	if *async {
 		switch {

@@ -29,6 +29,15 @@ type Options struct {
 	NoCompact bool
 	// Seed drives fault sampling.
 	Seed int64
+	// Shard/NumShards restrict the run to one contiguous partition of
+	// the collapsed (and possibly sampled) fault list: shard k of K
+	// targets faults [k*n/K, (k+1)*n/K). Partitioning happens after
+	// collapsing and sampling, so the union of all K shards targets
+	// exactly the fault list a single run would. Fault dropping and
+	// compaction stay within the shard. NumShards <= 1 means no
+	// sharding; a shard whose partition yields no patterns returns an
+	// empty set with a nil error (the caller judges the merged set).
+	Shard, NumShards int
 }
 
 func (o Options) withDefaults() Options {
@@ -74,6 +83,14 @@ func Generate(c *circuit.Circuit, opts Options) (*cube.Set, Stats, error) {
 	cc := logicsim.Compile(c)
 	faults := Collapse(c, AllFaults(c))
 	faults = Sample(faults, opts.MaxFaults, opts.Seed)
+	if opts.NumShards > 1 {
+		if opts.Shard < 0 || opts.Shard >= opts.NumShards {
+			return nil, Stats{}, fmt.Errorf("atpg: shard %d out of range [0,%d)", opts.Shard, opts.NumShards)
+		}
+		lo := opts.Shard * len(faults) / opts.NumShards
+		hi := (opts.Shard + 1) * len(faults) / opts.NumShards
+		faults = faults[lo:hi]
+	}
 
 	stats := Stats{TotalFaults: len(faults)}
 	set := cube.NewSet(c.NumInputs())
@@ -160,6 +177,12 @@ func Generate(c *circuit.Circuit, opts Options) (*cube.Set, Stats, error) {
 	}
 	stats.Patterns = set.Len()
 	if set.Len() == 0 {
+		// A sharded run may legitimately draw a partition of all-
+		// untestable or all-dropped faults; the caller checks the merged
+		// set instead.
+		if opts.NumShards > 1 {
+			return set, stats, nil
+		}
 		return nil, stats, fmt.Errorf("atpg: no testable faults in %q", c.Name)
 	}
 	return set, stats, nil

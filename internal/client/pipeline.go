@@ -1,0 +1,65 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/jobs"
+	"repro/internal/pipeline"
+	"repro/internal/reqid"
+)
+
+// Aliases so pipeline callers only import the client.
+type (
+	// PipelineRequest is the POST /v1/pipeline payload.
+	PipelineRequest = pipeline.Request
+	// PipelineReport is the POST /v1/pipeline result.
+	PipelineReport = pipeline.Report
+)
+
+// Pipeline runs one full netlist→ATPG→fill→power workload through
+// POST /v1/pipeline (or one ATPG fault shard, when the request sets
+// stage=atpg — the unit a coordinator fans out).
+func (c *Client) Pipeline(ctx context.Context, req PipelineRequest) (*PipelineReport, error) {
+	var out PipelineReport
+	if err := c.do(ctx, http.MethodPost, "/v1/pipeline", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// pipelineSubmit is the POST /v1/jobs body of an async pipeline
+// submit.
+type pipelineSubmit struct {
+	Pipeline *PipelineRequest `json:"pipeline"`
+}
+
+// SubmitPipelineJob submits a pipeline run asynchronously through
+// POST /v1/jobs and returns the accepted job's snapshot. Like
+// SubmitJob, every submit carries a client-minted idempotency key, so
+// a retry after a lost 202 reattaches to the originally accepted job.
+func (c *Client) SubmitPipelineJob(ctx context.Context, req PipelineRequest) (*JobStatus, error) {
+	hdr := http.Header{}
+	hdr.Set(jobs.IdempotencyHeader, "sub-"+reqid.New())
+	var out JobStatus
+	if err := c.doHeaders(ctx, http.MethodPost, "/v1/jobs", pipelineSubmit{Pipeline: &req}, &out, hdr); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// JobPipelineReport decodes a settled pipeline job's result into the
+// Report the same request would have received through POST
+// /v1/pipeline.
+func JobPipelineReport(st *JobStatus) (*PipelineReport, error) {
+	if st.State != jobs.StateDone {
+		return nil, fmt.Errorf("client: job %s is %s, not done", st.ID, st.State)
+	}
+	var out PipelineReport
+	if err := json.Unmarshal(st.Result, &out); err != nil {
+		return nil, &ProtocolError{Path: "/v1/jobs/" + st.ID, Err: err}
+	}
+	return &out, nil
+}

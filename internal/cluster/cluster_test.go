@@ -29,12 +29,14 @@ type chaosWorker struct {
 	srv *server.Server
 	ts  *httptest.Server
 
-	dead           atomic.Bool
-	dieOnNextBatch atomic.Bool
-	slowBatchMs    atomic.Int64
-	fakeQueueDepth atomic.Int64
-	batchHits      atomic.Int64
-	lastRequestID  atomic.Value // string
+	dead              atomic.Bool
+	dieOnNextBatch    atomic.Bool
+	dieOnNextPipeline atomic.Bool
+	slowBatchMs       atomic.Int64
+	fakeQueueDepth    atomic.Int64
+	batchHits         atomic.Int64
+	pipelineHits      atomic.Int64
+	lastRequestID     atomic.Value // string
 }
 
 func newChaosWorker(t *testing.T) *chaosWorker {
@@ -71,6 +73,14 @@ func newChaosWorker(t *testing.T) *chaosWorker {
 				case <-r.Context().Done():
 					return
 				}
+			}
+		}
+		if r.URL.Path == "/v1/pipeline" {
+			w.pipelineHits.Add(1)
+			if w.dieOnNextPipeline.CompareAndSwap(true, false) {
+				w.dead.Store(true)
+				hijackClose(rw)
+				return
 			}
 		}
 		if r.URL.Path == "/stats" {

@@ -1,8 +1,9 @@
 // Package cluster scales the fill service out: a Coordinator shards
-// /v1/batch workloads across a fleet of dpfilld workers over their
-// existing HTTP API and re-exposes the same /v1/* surface, so callers
-// are topology-agnostic — one worker, a fleet, or nothing but the
-// coordinator's own in-process engine all answer identically.
+// /v1/batch workloads (and fault-shards /v1/pipeline runs) across a
+// fleet of dpfilld workers over their existing HTTP API and re-exposes
+// the same /v1/* surface, so callers are topology-agnostic — one
+// worker, a fleet, or nothing but the coordinator's own in-process
+// engine all answer identically.
 //
 // The moving parts:
 //
@@ -78,10 +79,12 @@ type Config struct {
 	// workers, shape limits). Ignored when DisableFallback is set.
 	Local server.Config
 	// MaxBodyBytes bounds request bodies (default 8 MiB);
-	// MaxBatchJobs bounds one batch (default 256) — the same guards
-	// dpfilld itself applies.
+	// MaxBatchJobs bounds one batch (default 256); MaxGates bounds
+	// the resolved circuit of a sharded pipeline run (default 250000)
+	// — the same guards dpfilld itself applies.
 	MaxBodyBytes int64
 	MaxBatchJobs int
+	MaxGates     int
 	// ShutdownGrace bounds how long Serve waits for in-flight
 	// requests after its context is cancelled (default 5s). Size it
 	// above the longest legitimate batch when rolling restarts must
@@ -121,6 +124,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatchJobs <= 0 {
 		c.MaxBatchJobs = 256
+	}
+	if c.MaxGates <= 0 {
+		c.MaxGates = 250000
 	}
 	if c.ShutdownGrace <= 0 {
 		c.ShutdownGrace = 5 * time.Second
@@ -184,7 +190,7 @@ func New(cfg Config) (*Coordinator, error) {
 	// healthy workers and mis-route to the local fallback (or fail).
 	co.jobsGate = make(chan struct{})
 	co.jobs, err = jobs.Open(jobs.Config{
-		Runner:    jobs.RunJSON(co.batchThrough),
+		Runner:    co.runJob,
 		Dir:       cfg.DataDir,
 		MaxQueued: cfg.MaxQueuedJobs,
 		Retention: cfg.JobRetention,
@@ -201,6 +207,7 @@ func New(cfg Config) (*Coordinator, error) {
 	mux.HandleFunc("POST /v1/fill", co.handleFill)
 	mux.HandleFunc("POST /v1/batch", co.handleBatch)
 	mux.HandleFunc("POST /v1/grid", co.handleGrid)
+	mux.HandleFunc("POST /v1/pipeline", co.handlePipeline)
 	mux.HandleFunc("GET /healthz", co.handleHealthz)
 	mux.HandleFunc("GET /stats", co.handleStats)
 	mux.Handle("GET /metrics", co.newProm().Handler())

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/pipeline"
 	"repro/internal/reqid"
 	"repro/internal/server"
 )
@@ -266,23 +267,52 @@ func (co *Coordinator) decode(w http.ResponseWriter, r *http.Request, v any) boo
 	return true
 }
 
-// decodeJobSubmit validates a POST /v1/jobs body — the same
-// BatchRequest schema and limits the synchronous batch handler
-// applies — and returns the canonical payload the job journal stores.
+// coordJobSubmit is the coordinator's POST /v1/jobs body: either a
+// batch (the same schema and limits the synchronous batch handler
+// applies) or one pipeline run, never both — the same contract
+// dpfilld itself accepts, so a submit script works against either.
+type coordJobSubmit struct {
+	Jobs     []client.FillRequest    `json:"jobs,omitempty"`
+	Debug    bool                    `json:"debug,omitempty"`
+	Pipeline *client.PipelineRequest `json:"pipeline,omitempty"`
+}
+
+// decodeJobSubmit validates a POST /v1/jobs body and returns the
+// canonical payload the job journal stores: the BatchRequest itself
+// for batch submits, a {"pipeline": ...} envelope for pipeline
+// submits.
 func (co *Coordinator) decodeJobSubmit(w http.ResponseWriter, r *http.Request) (json.RawMessage, int, bool) {
-	var req client.BatchRequest
+	var req coordJobSubmit
 	if !co.decode(w, r, &req) {
 		return nil, 0, false
 	}
-	if !co.validateBatch(w, req) {
+	if req.Pipeline != nil {
+		if len(req.Jobs) > 0 {
+			writeJSON(w, http.StatusBadRequest,
+				errorResponse{Error: "submit carries both jobs and a pipeline; pick one"})
+			return nil, 0, false
+		}
+		if err := req.Pipeline.Validate(); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return nil, 0, false
+		}
+		payload, err := json.Marshal(pipelineEnvelope{Pipeline: req.Pipeline})
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+			return nil, 0, false
+		}
+		return payload, req.Pipeline.Steps(), true
+	}
+	batch := client.BatchRequest{Jobs: req.Jobs, Debug: req.Debug}
+	if !co.validateBatch(w, batch) {
 		return nil, 0, false
 	}
-	payload, err := json.Marshal(req)
+	payload, err := json.Marshal(batch)
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return nil, 0, false
 	}
-	return payload, len(req.Jobs), true
+	return payload, len(batch.Jobs), true
 }
 
 // writeError maps a dispatch failure to its HTTP status: worker API
@@ -298,6 +328,10 @@ func (co *Coordinator) writeError(w http.ResponseWriter, err error) {
 		// message, as if the caller had spoken to the worker directly.
 		writeJSON(w, api.Status, errorResponse{Error: api.Message})
 		return
+	case errors.Is(err, pipeline.ErrBadRequest):
+		// Pipeline validation happens on the coordinator too (the
+		// sharded path needs the request before any worker sees it).
+		status = http.StatusBadRequest
 	case errors.Is(err, errNoWorkers):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):

@@ -1,0 +1,92 @@
+package netgen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses a compact circuit spec into a Profile. Three forms
+// are accepted:
+//
+//	b04              — a catalog profile by name
+//	b04@0.25         — a catalog profile scaled by a factor in (0,1]
+//	pis=8,ffs=24,gates=200[,seed=7][,name=x]  — a custom profile
+//
+// The custom form requires pis and gates; ffs defaults to 0, name to
+// "custom". Generation from the returned profile is deterministic: the
+// same spec always yields the same netlist.
+func ParseSpec(s string) (Profile, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Profile{}, fmt.Errorf("netgen: empty spec")
+	}
+	if !strings.Contains(s, "=") {
+		name, factor, scaled := strings.Cut(s, "@")
+		name = strings.TrimSpace(name)
+		p, ok := ProfileByName(name)
+		if !ok {
+			return Profile{}, fmt.Errorf("netgen: unknown profile %q", name)
+		}
+		if !scaled {
+			return p, nil
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(factor), 64)
+		if err != nil {
+			return Profile{}, fmt.Errorf("netgen: bad scale factor %q: %v", factor, err)
+		}
+		if f <= 0 || f > 1 {
+			return Profile{}, fmt.Errorf("netgen: scale factor %v outside (0,1]", f)
+		}
+		return p.Scaled(f), nil
+	}
+
+	p := Profile{Name: "custom"}
+	var sawPIs, sawGates bool
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return Profile{}, fmt.Errorf("netgen: bad spec field %q (want key=value)", field)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		if key == "name" {
+			if val == "" {
+				return Profile{}, fmt.Errorf("netgen: empty name in spec")
+			}
+			p.Name = val
+			continue
+		}
+		n, err := strconv.ParseInt(val, 10, 32)
+		if err != nil {
+			return Profile{}, fmt.Errorf("netgen: bad value for %q: %v", key, err)
+		}
+		switch key {
+		case "pis":
+			p.PIs, sawPIs = int(n), true
+		case "ffs":
+			p.FFs = int(n)
+		case "gates":
+			p.Gates, sawGates = int(n), true
+		case "seed":
+			p.Seed = n
+		default:
+			return Profile{}, fmt.Errorf("netgen: unknown spec key %q", key)
+		}
+	}
+	if !sawPIs || !sawGates {
+		return Profile{}, fmt.Errorf("netgen: custom spec needs pis= and gates=")
+	}
+	if p.PIs < 1 || p.FFs < 0 || p.Gates < 1 {
+		return Profile{}, fmt.Errorf("netgen: degenerate spec %q", s)
+	}
+	const maxDim = 1 << 20
+	if p.PIs > maxDim || p.FFs > maxDim || p.Gates > maxDim {
+		return Profile{}, fmt.Errorf("netgen: spec dimension exceeds %d", maxDim)
+	}
+	return p, nil
+}

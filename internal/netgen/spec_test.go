@@ -1,0 +1,129 @@
+package netgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpecCatalog(t *testing.T) {
+	p, err := ParseSpec("b04")
+	if err != nil {
+		t.Fatalf("ParseSpec(b04): %v", err)
+	}
+	want, _ := ProfileByName("b04")
+	if p != want {
+		t.Fatalf("ParseSpec(b04) = %+v, want %+v", p, want)
+	}
+}
+
+func TestParseSpecScaled(t *testing.T) {
+	p, err := ParseSpec("b04@0.25")
+	if err != nil {
+		t.Fatalf("ParseSpec(b04@0.25): %v", err)
+	}
+	base, _ := ProfileByName("b04")
+	want := base.Scaled(0.25)
+	if p != want {
+		t.Fatalf("ParseSpec(b04@0.25) = %+v, want %+v", p, want)
+	}
+	if p.Gates >= base.Gates {
+		t.Fatalf("scaling did not shrink gates: %d >= %d", p.Gates, base.Gates)
+	}
+}
+
+func TestParseSpecCustom(t *testing.T) {
+	p, err := ParseSpec("pis=8, ffs=24, gates=200, seed=7, name=tiny")
+	if err != nil {
+		t.Fatalf("ParseSpec custom: %v", err)
+	}
+	want := Profile{Name: "tiny", PIs: 8, FFs: 24, Gates: 200, Seed: 7}
+	if p != want {
+		t.Fatalf("ParseSpec custom = %+v, want %+v", p, want)
+	}
+	if _, err := Generate(p); err != nil {
+		t.Fatalf("Generate(parsed custom spec): %v", err)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"   ",
+		"nosuch",
+		"b04@0",
+		"b04@-1",
+		"b04@1.5",
+		"b04@zzz",
+		"pis=8",                      // missing gates
+		"gates=10",                   // missing pis
+		"pis=0,gates=10",             // degenerate
+		"pis=2,ffs=-1,gates=10",      // degenerate
+		"pis=2,gates=10,bogus=1",     // unknown key
+		"pis=2,gates=10,seed=xx",     // bad int
+		"pis=2,gates=10,name=",       // empty name
+		"pis=2,gates",                // no '='
+		"pis=9999999999999,gates=10", // overflow
+		"pis=2000000,gates=10",       // exceeds dimension cap
+	}
+	for _, s := range cases {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q): want error, got nil", s)
+		}
+	}
+}
+
+func TestParseSpecDeterministic(t *testing.T) {
+	a, err := ParseSpec("pis=4,ffs=8,gates=40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseSpec("pis=4,ffs=8,gates=40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := Generate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := Generate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca.NumInputs() != cb.NumInputs() || len(ca.Gates) != len(cb.Gates) {
+		t.Fatalf("same spec generated different circuits")
+	}
+}
+
+// FuzzParseSpec pins the spec parser against panics and checks the
+// invariant that any accepted profile is generatable (small profiles
+// only — generation cost scales with the gate budget).
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		"b01",
+		"b04@0.25",
+		"pis=8,ffs=24,gates=200,seed=7,name=x",
+		"pis=1,gates=1",
+		"b19@0.001",
+		"pis=2,ffs=2,gates=9,name=t",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParseSpec(s)
+		if err != nil {
+			return
+		}
+		if p.PIs < 1 || p.FFs < 0 || p.Gates < 1 {
+			t.Fatalf("ParseSpec(%q) accepted degenerate profile %+v", s, p)
+		}
+		if p.Name == "" {
+			t.Fatalf("ParseSpec(%q) accepted empty name", s)
+		}
+		if strings.Contains(s, "=") && p.Gates <= 512 && p.Inputs() <= 256 {
+			if _, err := Generate(p); err != nil {
+				t.Fatalf("accepted spec %q failed to generate: %v", s, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,51 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+// FuzzParseNetlist pins the pipeline's inline-netlist ingress: no
+// panic on arbitrary text, and every accepted circuit satisfies the
+// invariants the later stages rely on (at least one scan input, a
+// round-trippable netlist).
+func FuzzParseNetlist(f *testing.F) {
+	seeds := []string{
+		"INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n",
+		"# b\nINPUT(a)\nq = DFF(d)\nd = NOT(q)\nOUTPUT(q)\n",
+		"INPUT(x)\nOUTPUT(x)\n",
+		"y = NAND(a, b)",
+		"",
+		"INPUT(a)\n\n# comment\ny = BUFF(a)\nOUTPUT(y)\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		c, err := ParseNetlist(text)
+		if err != nil {
+			if !isBadRequest(err) {
+				t.Fatalf("ParseNetlist error not ErrBadRequest: %v", err)
+			}
+			return
+		}
+		if c.NumInputs() < 1 {
+			t.Fatalf("accepted netlist with no scan inputs: %q", text)
+		}
+		// The accepted circuit must survive a write/re-parse round trip.
+		var sb strings.Builder
+		if err := circuit.WriteBench(&sb, c); err != nil {
+			t.Fatalf("WriteBench on accepted netlist: %v", err)
+		}
+		c2, err := ParseNetlist(sb.String())
+		if err != nil {
+			t.Fatalf("round-trip rejected: %v\noriginal: %q\nwritten: %q", err, text, sb.String())
+		}
+		if c2.NumInputs() != c.NumInputs() || len(c2.Gates) != len(c.Gates) {
+			t.Fatalf("round trip changed shape: %d/%d inputs, %d/%d gates",
+				c.NumInputs(), c2.NumInputs(), len(c.Gates), len(c2.Gates))
+		}
+	})
+}

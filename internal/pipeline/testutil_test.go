@@ -1,0 +1,19 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cube"
+)
+
+func isBadRequest(err error) bool { return errors.Is(err, ErrBadRequest) }
+
+func mustParseCubes(t *testing.T, cubes []string) *cube.Set {
+	t.Helper()
+	set, err := cube.ParseSet(cubes...)
+	if err != nil {
+		t.Fatalf("parsing cubes: %v", err)
+	}
+	return set
+}

@@ -3,26 +3,59 @@ package server
 import (
 	"encoding/json"
 	"net/http"
+
+	"repro/internal/pipeline"
 )
 
-// decodeJobSubmit validates a POST /v1/jobs body — the same
-// BatchRequest schema and limits as POST /v1/batch — and returns the
-// canonical payload the job journal stores. Per-job resolution errors
-// are not checked here: they surface as per-item errors in the job's
-// result, exactly as the synchronous batch reports them.
+// jobSubmit is the POST /v1/jobs body: either a batch (the same
+// schema and limits as POST /v1/batch) or one pipeline run, never
+// both. The strict decoder rejects unknown fields, so a batch payload
+// cannot smuggle a "pipeline" key past validation and confuse the
+// journal-replay dispatch in runJob.
+type jobSubmit struct {
+	Jobs  []FillRequest `json:"jobs,omitempty"`
+	Debug bool          `json:"debug,omitempty"`
+	// Pipeline submits one full netlist→ATPG→fill→power run instead
+	// of a batch of fill jobs.
+	Pipeline *pipeline.Request `json:"pipeline,omitempty"`
+}
+
+// decodeJobSubmit validates a POST /v1/jobs body and returns the
+// canonical payload the job journal stores: the BatchRequest itself
+// for batch submits, or a {"pipeline": ...} envelope for pipeline
+// submits (how runJob tells the two apart at execution and replay).
+// Per-job resolution errors are not checked here: they surface in the
+// job's result, exactly as the synchronous endpoints report them.
 func (s *Server) decodeJobSubmit(w http.ResponseWriter, r *http.Request) (json.RawMessage, int, bool) {
-	var req BatchRequest
+	var req jobSubmit
 	if !s.decode(w, r, &req) {
 		return nil, 0, false
 	}
-	if err := s.validateBatch(req); err != nil {
+	if req.Pipeline != nil {
+		if len(req.Jobs) > 0 {
+			s.writeError(w, badRequestf("submit carries both jobs and a pipeline; pick one"))
+			return nil, 0, false
+		}
+		if err := req.Pipeline.Validate(); err != nil {
+			s.writeError(w, err)
+			return nil, 0, false
+		}
+		payload, err := json.Marshal(pipelineEnvelope{Pipeline: req.Pipeline})
+		if err != nil {
+			s.writeError(w, err)
+			return nil, 0, false
+		}
+		return payload, req.Pipeline.Steps(), true
+	}
+	batch := BatchRequest{Jobs: req.Jobs, Debug: req.Debug}
+	if err := s.validateBatch(batch); err != nil {
 		s.writeError(w, err)
 		return nil, 0, false
 	}
-	payload, err := json.Marshal(req)
+	payload, err := json.Marshal(batch)
 	if err != nil {
 		s.writeError(w, err)
 		return nil, 0, false
 	}
-	return payload, len(req.Jobs), true
+	return payload, len(batch.Jobs), true
 }

@@ -35,6 +35,20 @@ func (s *Server) newProm() *prom.Registry {
 		func() float64 { return float64(s.eng.Workers) })
 	m.fillLatency = r.Histogram("dpfill_fill_latency_seconds",
 		"Per-job wall-clock latency, cache hits included.", prom.DefBuckets)
+	r.CounterFunc("dpfill_pipeline_runs_total",
+		"Pipeline runs answered, sync and async.", m.pipelinesTotal)
+	r.CounterFunc("dpfill_pipeline_errors_total",
+		"Pipeline runs that ended in an error response.", m.pipelineErrorsTotal)
+	m.pipelineLatency = r.Histogram("dpfill_pipeline_latency_seconds",
+		"End-to-end pipeline wall-clock latency.", prom.DefBuckets)
+	// One labelled series per pipeline stage; ATPG shard timings
+	// ("atpg/K") fold into the atpg series.
+	m.stageLatency = make(map[string]*prom.Histogram)
+	for _, stage := range []string{"netlist", "atpg", "curve", "fill", "power"} {
+		m.stageLatency[stage] = r.Histogram("dpfill_pipeline_stage_seconds",
+			"Per-stage pipeline latency.", prom.DefBuckets,
+			prom.Label{Name: "stage", Value: stage})
+	}
 	r.GaugeFunc("dpfill_async_jobs_active",
 		"Async jobs queued or running.",
 		func() float64 { active, _ := s.jobs.Occupancy(); return float64(active) })
@@ -75,4 +89,16 @@ func (m *metrics) cacheMissesTotal() uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.cacheMisses
+}
+
+func (m *metrics) pipelinesTotal() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pipelines
+}
+
+func (m *metrics) pipelineErrorsTotal() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pipelineErrors
 }

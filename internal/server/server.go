@@ -11,7 +11,8 @@
 //	POST   /v1/fill      one cube set -> filled set + toggle statistics
 //	POST   /v1/batch     many jobs, one engine batch, per-job isolation
 //	POST   /v1/grid      every Table II-IV filler on one set, rendered table
-//	POST   /v1/jobs      submit a batch asynchronously -> job ID (202)
+//	POST   /v1/pipeline  netlist -> ATPG -> fill -> power, typed report
+//	POST   /v1/jobs      submit a batch or pipeline asynchronously -> job ID (202)
 //	GET    /v1/jobs      list retained async jobs
 //	GET    /v1/jobs/{id} async job status/progress/result
 //	DELETE /v1/jobs/{id} cancel an async job
@@ -44,6 +45,7 @@ import (
 	"repro/internal/fill"
 	"repro/internal/jobs"
 	"repro/internal/order"
+	"repro/internal/pipeline"
 	"repro/internal/reqid"
 )
 
@@ -66,6 +68,10 @@ type Config struct {
 	// MaxBatchJobs bounds the jobs of one /v1/batch request (default
 	// 256).
 	MaxBatchJobs int
+	// MaxGates bounds the resolved circuit size of one /v1/pipeline
+	// request (default 250000 — the whole ITC'99 catalog fits, but a
+	// one-line spec cannot demand an unbounded synthesis+ATPG run).
+	MaxGates int
 	// DefaultTimeout is the per-job deadline when a request does not
 	// set timeout_ms (default 30s); MaxTimeout is the ceiling requests
 	// are clamped to (default 2m).
@@ -112,6 +118,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchJobs <= 0 {
 		c.MaxBatchJobs = 256
 	}
+	if c.MaxGates <= 0 {
+		c.MaxGates = 250000
+	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 30 * time.Second
 	}
@@ -156,12 +165,14 @@ func New(cfg Config) (*Server, error) {
 		cache: newLRUCache(cfg.CacheSize),
 		met:   newMetrics(),
 	}
-	// The async runner is the exact batch path /v1/batch uses;
-	// determinism of the fill algorithms makes this the crash
-	// contract: a job replayed after a daemon kill re-runs here and
-	// produces the same cubes, peak and total the lost run would have.
+	// The async runner is the exact path the synchronous endpoints
+	// use (runJob dispatches a journaled payload to the batch or
+	// pipeline executor); determinism of the fill algorithms makes
+	// this the crash contract: a job replayed after a daemon kill
+	// re-runs here and produces the same cubes, peak and total the
+	// lost run would have.
 	mgr, err := jobs.Open(jobs.Config{
-		Runner:    jobs.RunJSON(s.runBatch),
+		Runner:    s.runJob,
 		Dir:       cfg.DataDir,
 		MaxQueued: cfg.MaxQueuedJobs,
 		Retention: cfg.JobRetention,
@@ -175,6 +186,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/fill", s.handleFill)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/grid", s.handleGrid)
+	mux.HandleFunc("POST /v1/pipeline", s.handlePipeline)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.Handle("GET /metrics", s.newProm().Handler())
@@ -606,7 +618,7 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status := http.StatusUnprocessableEntity
 	var bad badRequestError
 	switch {
-	case errors.As(err, &bad):
+	case errors.As(err, &bad), errors.Is(err, pipeline.ErrBadRequest):
 		status = http.StatusBadRequest
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout

@@ -3,10 +3,12 @@ package server
 import (
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	prom "repro/internal/metrics"
+	"repro/internal/pipeline"
 )
 
 // latencyWindow bounds the per-job latency reservoir: percentiles are
@@ -36,6 +38,10 @@ type Stats struct {
 	QueueDepth    int `json:"queue_depth"`
 	InFlight      int `json:"inflight"`
 	EngineWorkers int `json:"engine_workers"`
+	// Pipelines counts /v1/pipeline runs answered (sync and async);
+	// PipelineErrors counts the ones that ended in an error.
+	Pipelines      uint64 `json:"pipelines"`
+	PipelineErrors uint64 `json:"pipeline_errors"`
 	// P50Millis/P99Millis are per-job latency percentiles over the
 	// most recent LatencySamples jobs.
 	P50Millis float64 `json:"p50_ms"`
@@ -59,6 +65,14 @@ type metrics struct {
 	latNext     int
 	latCount    int
 	fillLatency *prom.Histogram
+
+	pipelines       uint64
+	pipelineErrors  uint64
+	pipelineLatency *prom.Histogram
+	// stageLatency maps a pipeline stage's base name (shard stages
+	// "atpg/K" fold into "atpg") to its Prometheus histogram; set once
+	// at construction by newProm, read-only afterwards.
+	stageLatency map[string]*prom.Histogram
 }
 
 func newMetrics() *metrics {
@@ -102,6 +116,32 @@ func (m *metrics) recordJob(d time.Duration) {
 	}
 }
 
+// observePipeline records one answered pipeline run: its end-to-end
+// wall-clock latency plus the per-stage timings the report carries,
+// fanned into the stage-labelled histogram family.
+func (m *metrics) observePipeline(d time.Duration, stages []pipeline.StageTiming) {
+	m.mu.Lock()
+	m.pipelines++
+	m.mu.Unlock()
+	if m.pipelineLatency != nil {
+		m.pipelineLatency.Observe(d)
+	}
+	for _, st := range stages {
+		base, _, _ := strings.Cut(st.Stage, "/")
+		if h := m.stageLatency[base]; h != nil {
+			h.Observe(time.Duration(st.DurationMillis * 1e6))
+		}
+	}
+}
+
+// observePipelineError records one pipeline run that ended in an
+// error response.
+func (m *metrics) observePipelineError() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pipelineErrors++
+}
+
 // observeError records one job that ended in an error response.
 func (m *metrics) observeError() {
 	m.mu.Lock()
@@ -125,6 +165,8 @@ func (m *metrics) snapshot(cacheEntries, queued, inflight, workers int) Stats {
 		QueueDepth:     queued,
 		InFlight:       inflight,
 		EngineWorkers:  workers,
+		Pipelines:      m.pipelines,
+		PipelineErrors: m.pipelineErrors,
 		LatencySamples: m.latCount,
 	}
 	if total := m.cacheHits + m.cacheMisses; total > 0 {

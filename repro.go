@@ -23,6 +23,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/atpg"
 	"repro/internal/circuit"
 	"repro/internal/client"
@@ -34,6 +36,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/netgen"
 	"repro/internal/order"
+	pipelinepkg "repro/internal/pipeline"
 	"repro/internal/power"
 	"repro/internal/scan"
 	"repro/internal/server"
@@ -115,6 +118,16 @@ type (
 	// ClusterStats is the coordinator's /stats payload (fleet health,
 	// shards, retries, hedges, fallbacks).
 	ClusterStats = cluster.Stats
+	// PipelineRequest describes one full netlist -> ATPG -> fill ->
+	// power workload: the circuit (inline .bench text or a netgen
+	// spec), ATPG compaction and fault-shard settings, the fill-stage
+	// algorithms, and the power-evaluation scheme. It is the payload
+	// of POST /v1/pipeline on server and cluster alike.
+	PipelineRequest = pipelinepkg.Request
+	// PipelineReport is the typed result: circuit shape, ATPG counters
+	// and coverage curve, fill statistics, shift/capture power and
+	// IR-drop, plus per-stage timings.
+	PipelineReport = pipelinepkg.Report
 )
 
 // Trit values.
@@ -218,6 +231,17 @@ func (p Pipeline) Run(s *CubeSet) (*CubeSet, []int, int, error) {
 		return nil, nil, 0, err
 	}
 	return filled, perm, filled.PeakToggles(), nil
+}
+
+// RunPipeline executes one full workload in-process: resolve the
+// request's circuit, generate test cubes with PODEM ATPG (optionally
+// fault-sharded), X-fill them with the requested ordering and filler,
+// and evaluate shift/capture power and IR-drop. It is the exact
+// function POST /v1/pipeline serves, so a local run and a served run
+// of the same request produce the identical report (up to stage
+// timings).
+func RunPipeline(ctx context.Context, req PipelineRequest) (*PipelineReport, error) {
+	return pipelinepkg.Run(ctx, req, pipelinepkg.RunOptions{})
 }
 
 // ITC99Profiles returns the synthetic benchmark profiles of Table I.
