@@ -35,7 +35,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"os"
 	"os/signal"
@@ -44,6 +43,8 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/debugz"
+	"repro/internal/logx"
 	"repro/internal/server"
 )
 
@@ -88,7 +89,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	maxBody := fs.Int64("max-body", 8<<20, "largest accepted request body in bytes")
 	maxBatch := fs.Int("max-batch", 256, "largest accepted job count per batch")
 	grace := fs.Duration("grace", 5*time.Second, "graceful shutdown window")
-	accessLog := fs.Bool("access-log", false, "log one line per request (with X-Request-ID) to stderr")
+	accessLog := fs.Bool("access-log", false, "log one structured record per request (with X-Request-ID) to stderr")
+	logLevel := fs.String("log-level", "info", "log severity floor: debug, info, warn or error")
+	logFormat := fs.String("log-format", "logfmt", "log line encoding: logfmt or json")
+	debugAddr := fs.String("debug-addr", "", "serve pprof profiles and /metrics on this admin address (empty disables)")
+	slowThreshold := fs.Duration("slow-threshold", time.Second, "latency SLO: slower /v1/* requests are captured in /stats slow_requests (negative disables)")
 	dataDir := fs.String("data-dir", "", "journal async jobs here so they survive restarts (empty = memory only)")
 	maxJobs := fs.Int("max-jobs", 256, "largest accepted async job backlog before 429")
 	jobRetention := fs.Int("job-retention", 256, "settled async jobs kept queryable")
@@ -96,9 +101,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var logger *log.Logger
-	if *accessLog {
-		logger = log.New(os.Stderr, "dpfill-coord ", log.LstdFlags|log.Lmsgprefix)
+	logger, err := buildLogger(*accessLog, *logLevel, *logFormat)
+	if err != nil {
+		return err
 	}
 	co, err := cluster.New(cluster.Config{
 		Workers: workers,
@@ -118,6 +123,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		MaxBatchJobs:    *maxBatch,
 		ShutdownGrace:   *grace,
 		Log:             logger,
+		SlowThreshold:   *slowThreshold,
 		DataDir:         *dataDir,
 		MaxQueuedJobs:   *maxJobs,
 		JobRetention:    *jobRetention,
@@ -130,6 +136,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *debugAddr != "" {
+		go func() {
+			if derr := debugz.ListenAndServe(ctx, *debugAddr, co.Metrics()); derr != nil {
+				fmt.Fprintln(os.Stderr, "dpfill-coord: debug listener:", derr)
+			}
+		}()
+	}
 	fmt.Fprintf(stdout, "dpfill-coord listening on %s (workers=%d shard-size=%d fallback=%v)\n",
 		l.Addr(), len(workers), *shardSize, *fallback)
 	err = co.Serve(ctx, l)
@@ -137,4 +150,21 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		fmt.Fprintln(stdout, "dpfill-coord: shut down cleanly")
 	}
 	return err
+}
+
+// buildLogger resolves the logging flags into a structured stderr
+// logger, nil when -access-log is off (logging disabled).
+func buildLogger(enabled bool, level, format string) (*logx.Logger, error) {
+	if !enabled {
+		return nil, nil
+	}
+	lv, err := logx.ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	fm, err := logx.ParseFormat(format)
+	if err != nil {
+		return nil, err
+	}
+	return logx.New(os.Stderr, logx.Options{Level: lv, Format: fm}), nil
 }

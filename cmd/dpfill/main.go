@@ -87,6 +87,7 @@ func run(args []string, stdout io.Writer) error {
 	ordName := fs.String("order", "tool", "ordering: tool|xstat|i|isa")
 	fillName := fs.String("fill", "dp", "fill: mt|r|0|1|b|adj|xstat|dp")
 	window := fs.Int("window", 0, "dp only: windowed DP-fill window size in vectors (>= 2; 0 = monolithic exact fill)")
+	explain := fs.Bool("explain", false, "dp only: print the fill's explain trace (stage timings, BCP prune counters, arena reuse); with -server, request the server-side record")
 	seed := fs.Int64("seed", 1, "seed for randomized algorithms")
 	grid := fs.Bool("grid", false, "evaluate the full ordering x fill grid instead")
 	var jobs jobsFlag
@@ -139,6 +140,16 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("-window is fill-only; -grid has no windowed variant")
 		}
 	}
+	if *explain {
+		switch {
+		case *fillName != "dp":
+			return fmt.Errorf("-explain only applies to -fill dp: only the fill core emits a trace")
+		case *grid:
+			return fmt.Errorf("-explain is single-fill only; -grid has no explain records")
+		case *async:
+			return fmt.Errorf("-explain is synchronous-only; async job results do not retain explain records")
+		}
+	}
 	explicit := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	inputs := append([]string(nil), jobs...)
@@ -148,6 +159,8 @@ func run(args []string, stdout io.Writer) error {
 		switch {
 		case *grid:
 			return fmt.Errorf("-grid is single-input only")
+		case *explain:
+			return fmt.Errorf("-explain is single-input only")
 		case explicit["in"]:
 			return fmt.Errorf("-in is single-input only; pass batch inputs via -jobs or arguments")
 		case explicit["o"]:
@@ -198,7 +211,7 @@ func run(args []string, stdout io.Writer) error {
 		if *grid {
 			return runRemoteGrid(stdout, *serverURL, r, *in, *ordName, *seed)
 		}
-		return runRemoteFill(stdout, *serverURL, r, *in, *ordName, *fillName, *seed, *out)
+		return runRemoteFill(stdout, *serverURL, r, *in, *ordName, *fillName, *seed, *out, *explain)
 	}
 	set, err := readCubes(r, *in)
 	if err != nil {
@@ -219,8 +232,14 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var tr *core.Trace
+	if *explain {
+		tr = &core.Trace{}
+	}
 	if *window != 0 {
-		fl = fill.DPWindowed(*window, core.Options{})
+		fl = fill.DPWindowed(*window, core.Options{Trace: tr})
+	} else if tr != nil {
+		fl = fill.DPWith(core.Options{Trace: tr})
 	}
 	perm, err := ord.Order(set)
 	if err != nil {
@@ -233,6 +252,9 @@ func run(args []string, stdout io.Writer) error {
 	peak, total, _ := filled.ToggleStats()
 	fmt.Fprintf(stdout, "%s + %s: peak input toggles = %d (total %d)\n",
 		ord.Name(), fl.Name(), peak, total)
+	if tr != nil {
+		printExplain(stdout, tr)
+	}
 
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -246,6 +268,33 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "wrote %s\n", *out)
 	}
 	return nil
+}
+
+// printExplain renders a fill-core explain trace: input shape, BCP
+// prune counters, the per-stage wall-time breakdown (which sums to the
+// total by construction) and, for windowed fills, one line per window.
+func printExplain(w io.Writer, tr *core.Trace) {
+	fmt.Fprintf(w, "explain: %d pins x %d vectors, shards=%d, arena_reused=%v\n",
+		tr.Rows, tr.Cols, tr.Shards, tr.ArenaReused)
+	fmt.Fprintf(w, "  bcp: intervals=%d forced_unit=%d peak=%d lower_bound=%d\n",
+		tr.Intervals, tr.ForcedUnit, tr.Peak, tr.LowerBound)
+	fmt.Fprintf(w, "  bcp sweep: starts scanned=%d pruned=%d, windows scanned=%d, suffix breaks=%d\n",
+		tr.BCP.StartsScanned, tr.BCP.StartsSkipped, tr.BCP.WindowsScanned, tr.BCP.SuffixBreaks)
+	tw := tabwriter.NewWriter(w, 0, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "  stage\tms\tshare\t\n")
+	for _, st := range tr.StageNS() {
+		var share float64
+		if tr.TotalNS > 0 {
+			share = 100 * float64(st.NS) / float64(tr.TotalNS)
+		}
+		fmt.Fprintf(tw, "  %s\t%.3f\t%.1f%%\t\n", st.Stage, float64(st.NS)/1e6, share)
+	}
+	fmt.Fprintf(tw, "  total\t%.3f\t\t\n", float64(tr.TotalNS)/1e6)
+	tw.Flush()
+	for _, wt := range tr.Windows {
+		fmt.Fprintf(w, "  window [%d,%d): intervals=%d forced=%d peak=%d bound=%d %.3fms\n",
+			wt.Base, wt.Base+wt.Len, wt.Intervals, wt.Forced, wt.Peak, wt.LowerBound, float64(wt.NS)/1e6)
+	}
 }
 
 // readCubes parses r as STIL when the path ends in .stil, plain cube

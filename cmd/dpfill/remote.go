@@ -44,7 +44,7 @@ func remotePayload(r io.Reader, path string) (client.FillRequest, error) {
 
 // runRemoteFill submits one input through /v1/fill and reports like
 // the local single-input path.
-func runRemoteFill(stdout io.Writer, serverURL string, r io.Reader, path, ordName, fillName string, seed int64, out string) error {
+func runRemoteFill(stdout io.Writer, serverURL string, r io.Reader, path, ordName, fillName string, seed int64, out string, explain bool) error {
 	c, err := client.New(client.Config{BaseURL: serverURL})
 	if err != nil {
 		return err
@@ -58,6 +58,7 @@ func runRemoteFill(stdout io.Writer, serverURL string, r io.Reader, path, ordNam
 	req.Filler = fillName
 	req.Seed = seed
 	req.OmitCubes = out == ""
+	req.Debug = explain
 	resp, err := c.Fill(context.Background(), req)
 	if err != nil {
 		return err
@@ -66,6 +67,13 @@ func runRemoteFill(stdout io.Writer, serverURL string, r io.Reader, path, ordNam
 		resp.Rows, resp.Width, resp.XPercent)
 	fmt.Fprintf(stdout, "%s + %s: peak input toggles = %d (total %d)\n",
 		resp.Orderer, resp.Filler, resp.Peak, resp.Total)
+	if explain {
+		if resp.Explain == nil {
+			fmt.Fprintln(stdout, "explain: server returned no trace (cached pre-upgrade result or non-dp filler)")
+		} else {
+			printExplain(stdout, resp.Explain)
+		}
+	}
 	if out != "" {
 		if err := writeCubeLines(out, resp.Cubes); err != nil {
 			return err

@@ -32,13 +32,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/debugz"
+	"repro/internal/logx"
 	"repro/internal/server"
 )
 
@@ -62,7 +63,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "default per-job deadline")
 	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "ceiling for requested deadlines")
 	grace := fs.Duration("grace", 5*time.Second, "graceful shutdown window")
-	accessLog := fs.Bool("access-log", false, "log one line per request (with X-Request-ID) to stderr")
+	accessLog := fs.Bool("access-log", false, "log one structured record per request (with X-Request-ID) to stderr")
+	logLevel := fs.String("log-level", "info", "log severity floor: debug, info, warn or error")
+	logFormat := fs.String("log-format", "logfmt", "log line encoding: logfmt or json")
+	debugAddr := fs.String("debug-addr", "", "serve pprof profiles and /metrics on this admin address (empty disables)")
+	slowThreshold := fs.Duration("slow-threshold", time.Second, "latency SLO: slower /v1/* requests are captured in /stats slow_requests (negative disables)")
 	dataDir := fs.String("data-dir", "", "journal async jobs here so they survive restarts (empty = memory only)")
 	maxJobs := fs.Int("max-jobs", 256, "largest accepted async job backlog before 429")
 	jobRetention := fs.Int("job-retention", 256, "settled async jobs kept queryable")
@@ -70,9 +75,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var logger *log.Logger
-	if *accessLog {
-		logger = log.New(os.Stderr, "dpfilld ", log.LstdFlags|log.Lmsgprefix)
+	logger, err := buildLogger(*accessLog, *logLevel, *logFormat)
+	if err != nil {
+		return err
 	}
 	srv, err := server.New(server.Config{
 		Workers:        *workers,
@@ -84,6 +89,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		MaxTimeout:     *maxTimeout,
 		ShutdownGrace:  *grace,
 		Log:            logger,
+		SlowThreshold:  *slowThreshold,
 		DataDir:        *dataDir,
 		MaxQueuedJobs:  *maxJobs,
 		JobRetention:   *jobRetention,
@@ -96,6 +102,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *debugAddr != "" {
+		go func() {
+			if derr := debugz.ListenAndServe(ctx, *debugAddr, srv.Metrics()); derr != nil {
+				fmt.Fprintln(os.Stderr, "dpfilld: debug listener:", derr)
+			}
+		}()
+	}
 	fmt.Fprintf(stdout, "dpfilld listening on %s (workers=%d cache=%d)\n",
 		l.Addr(), *workers, *cacheSize)
 	err = srv.Serve(ctx, l)
@@ -103,4 +116,21 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		fmt.Fprintln(stdout, "dpfilld: shut down cleanly")
 	}
 	return err
+}
+
+// buildLogger resolves the logging flags into a structured stderr
+// logger, nil when -access-log is off (logging disabled).
+func buildLogger(enabled bool, level, format string) (*logx.Logger, error) {
+	if !enabled {
+		return nil, nil
+	}
+	lv, err := logx.ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	fm, err := logx.ParseFormat(format)
+	if err != nil {
+		return nil, err
+	}
+	return logx.New(os.Stderr, logx.Options{Level: lv, Format: fm}), nil
 }

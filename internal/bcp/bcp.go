@@ -19,7 +19,42 @@ package bcp
 import (
 	"fmt"
 	"sort"
+	"time"
 )
+
+// Stats is the solver's explain record: how hard Algorithm 1 worked
+// and where its prunings bit, plus wall time split between the bound
+// and the assignment. A nil *Stats costs the hot path nothing; core
+// threads one through SolveStats when a fill runs with a trace sink.
+// Counters accumulate, so one Stats can aggregate several solves
+// (e.g. every window of a windowed fill).
+type Stats struct {
+	// StartsScanned counts window starts the Algorithm 1 sweep
+	// evaluated; StartsSkipped counts starts pruned outright by the
+	// empty-start domination rule.
+	StartsScanned int `json:"starts_scanned"`
+	StartsSkipped int `json:"starts_skipped"`
+	// WindowsScanned counts inner bound evaluations (one per [i,j]
+	// window actually visited); SuffixBreaks counts j sweeps cut short
+	// by the suffix bound.
+	WindowsScanned int `json:"windows_scanned"`
+	SuffixBreaks   int `json:"suffix_breaks"`
+	// BoundNS and AssignNS split the solve's wall time between
+	// Algorithm 1 (lower bound) and Algorithm 2 (EDF assignment,
+	// including the legality check).
+	BoundNS  int64 `json:"bound_ns"`
+	AssignNS int64 `json:"assign_ns"`
+}
+
+// Add accumulates o into st.
+func (st *Stats) Add(o Stats) {
+	st.StartsScanned += o.StartsScanned
+	st.StartsSkipped += o.StartsSkipped
+	st.WindowsScanned += o.WindowsScanned
+	st.SuffixBreaks += o.SuffixBreaks
+	st.BoundNS += o.BoundNS
+	st.AssignNS += o.AssignNS
+}
 
 // Interval is one BCP request: a color in [Start, End] (inclusive, both
 // 0-based) must be assigned to it.
@@ -131,10 +166,18 @@ func (inst *Instance) CheckColoring(colors []int) (int, error) {
 // O(k/lb). The bucket-and-row scratch comes from a sync.Pool so the
 // serving path's per-fill bound costs no steady-state allocation.
 func (inst *Instance) LowerBound() int {
+	return inst.lowerBound(nil)
+}
+
+// lowerBound is LowerBound with an optional explain sink. Counters are
+// kept in locals through the sweep and flushed once at the end, so the
+// traced and untraced paths run the same inner loops.
+func (inst *Instance) lowerBound(st *Stats) int {
 	k := len(inst.Intervals)
 	if k == 0 {
 		return 0
 	}
+	startsScanned, startsSkipped, windows, suffixBreaks := 0, 0, 0, 0
 	c := inst.NumColors
 	sc := getLBScratch(c)
 	defer putLBScratch(sc)
@@ -159,8 +202,10 @@ func (inst *Instance) LowerBound() int {
 	for i := c - 1; i >= 0; i-- {
 		ends := endsByStart[i]
 		if len(ends) == 0 {
+			startsSkipped++
 			continue // dominated by the window starting at the next start
 		}
+		startsScanned++
 		suffix += len(ends)
 		// Evaluate windows [i,j] and fold the Start == i intervals
 		// into t in the same sweep: count = T(i,j) = T(i+1,j) + p is
@@ -174,8 +219,10 @@ func (inst *Instance) LowerBound() int {
 		for ; j < c; j++ {
 			window := j - i + 1
 			if lb > 0 && lb*window >= suffix {
+				suffixBreaks++
 				break // ceil(T/window) <= ceil(suffix/window) <= lb from here on
 			}
+			windows++
 			for p < len(ends) && ends[p] <= j {
 				p++
 			}
@@ -196,6 +243,12 @@ func (inst *Instance) LowerBound() int {
 			}
 			t[j] += p
 		}
+	}
+	if st != nil {
+		st.StartsScanned += startsScanned
+		st.StartsSkipped += startsSkipped
+		st.WindowsScanned += windows
+		st.SuffixBreaks += suffixBreaks
 	}
 	return lb
 }
@@ -302,15 +355,37 @@ func (inst *Instance) Assign(capacity int) ([]int, error) {
 // coloring. The returned Solution always has Bottleneck == LowerBound,
 // which is the paper's optimality result.
 func (inst *Instance) Solve() (*Solution, error) {
-	lb := inst.LowerBound()
+	return inst.SolveStats(nil)
+}
+
+// SolveStats is Solve with an optional explain sink: when st is
+// non-nil it accumulates the Algorithm 1 prune counters and the wall
+// time of the bound and assignment phases. A nil st takes the exact
+// untimed path of Solve.
+func (inst *Instance) SolveStats(st *Stats) (*Solution, error) {
+	var t0 time.Time
+	if st != nil {
+		t0 = time.Now()
+	}
+	lb := inst.lowerBound(st)
+	if st != nil {
+		st.BoundNS += time.Since(t0).Nanoseconds()
+	}
 	if len(inst.Intervals) == 0 {
 		return &Solution{Colors: nil, Bottleneck: 0, LowerBound: 0}, nil
+	}
+	var t1 time.Time
+	if st != nil {
+		t1 = time.Now()
 	}
 	colors, err := inst.Assign(lb)
 	if err != nil {
 		return nil, err
 	}
 	bn, err := inst.CheckColoring(colors)
+	if st != nil {
+		st.AssignNS += time.Since(t1).Nanoseconds()
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -29,7 +29,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -37,6 +36,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/jobs"
+	"repro/internal/logx"
 	prom "repro/internal/metrics"
 	"repro/internal/reqid"
 	"repro/internal/server"
@@ -104,9 +104,14 @@ type Config struct {
 	// JobWorkers is how many async jobs dispatch concurrently
 	// (default 1; each job's batch already fans out across the fleet).
 	JobWorkers int
-	// Log, when non-nil, receives access-log and dispatch-event lines
-	// tagged with each request's X-Request-ID.
-	Log *log.Logger
+	// Log, when non-nil, receives structured access-log and
+	// dispatch-event records tagged with each request's X-Request-ID.
+	Log *logx.Logger
+	// SlowThreshold is the latency SLO: requests over it are counted as
+	// SLO breaches and their trace + per-shard dispatch breakdown land
+	// in the /stats slow_requests ring. 0 means the default 1s;
+	// negative disables slow capture and the SLO families.
+	SlowThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -131,6 +136,9 @@ func (c Config) withDefaults() Config {
 	if c.ShutdownGrace <= 0 {
 		c.ShutdownGrace = 5 * time.Second
 	}
+	if c.SlowThreshold == 0 {
+		c.SlowThreshold = time.Second
+	}
 	return c
 }
 
@@ -150,6 +158,9 @@ type Coordinator struct {
 	shardLog     shardRing
 	shardLatency *prom.Histogram
 	mux          *http.ServeMux
+	prom         *prom.Registry
+	slow         *server.SlowRing
+	slo          *prom.SLO
 }
 
 // New builds a Coordinator over the configured fleet. Workers start
@@ -196,6 +207,7 @@ func New(cfg Config) (*Coordinator, error) {
 		Retention: cfg.JobRetention,
 		Workers:   cfg.JobWorkers,
 		Start:     co.jobsGate,
+		Log:       cfg.Log,
 	})
 	if err != nil {
 		if co.localSrv != nil {
@@ -203,6 +215,11 @@ func New(cfg Config) (*Coordinator, error) {
 		}
 		return nil, err
 	}
+	if cfg.SlowThreshold > 0 {
+		co.slow = server.NewSlowRing(0)
+		co.slo = prom.NewSLO(cfg.SlowThreshold, 0)
+	}
+	co.prom = co.newProm()
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/fill", co.handleFill)
 	mux.HandleFunc("POST /v1/batch", co.handleBatch)
@@ -210,7 +227,7 @@ func New(cfg Config) (*Coordinator, error) {
 	mux.HandleFunc("POST /v1/pipeline", co.handlePipeline)
 	mux.HandleFunc("GET /healthz", co.handleHealthz)
 	mux.HandleFunc("GET /stats", co.handleStats)
-	mux.Handle("GET /metrics", co.newProm().Handler())
+	mux.Handle("GET /metrics", co.prom.Handler())
 	jobs.Mount(mux, co.jobs, co.decodeJobSubmit)
 	co.mux = mux
 	return co, nil
@@ -500,7 +517,7 @@ func (co *Coordinator) batchThrough(ctx context.Context, req client.BatchRequest
 		wg.Add(1)
 		go func(si, lo, hi int) {
 			defer wg.Done()
-			tr := co.runShard(ctx, req.Jobs[lo:hi], items[lo:hi])
+			tr := co.runShard(ctx, req.Debug, req.Jobs[lo:hi], items[lo:hi])
 			tr.Lo, tr.Hi = lo, hi
 			traces[si] = tr
 			progress(int(done.Add(int64(hi - lo))))
@@ -509,6 +526,9 @@ func (co *Coordinator) batchThrough(ctx context.Context, req client.BatchRequest
 	}
 	wg.Wait()
 	co.shardLog.record(traces)
+	// Slow capture: the dispatch breakdown is the coordinator's explain
+	// evidence, recorded whether or not the caller asked for debug.
+	server.AnnotateShards(ctx, traces)
 	failed := 0
 	for _, it := range items {
 		if it.Error != "" {
@@ -525,11 +545,13 @@ func (co *Coordinator) batchThrough(ctx context.Context, req client.BatchRequest
 
 // runShard answers one contiguous slice of a batch, writing results
 // into the aligned out slice and returning the shard's dispatch trace
-// (Lo/Hi are the caller's to fill).
-func (co *Coordinator) runShard(ctx context.Context, jobs []client.FillRequest, out []client.BatchItem) server.ShardTrace {
+// (Lo/Hi are the caller's to fill). A debug batch forwards the flag on
+// the sub-batch, so each worker's fill-core explain traces ride back
+// on the per-item results.
+func (co *Coordinator) runShard(ctx context.Context, debug bool, jobs []client.FillRequest, out []client.BatchItem) server.ShardTrace {
 	start := time.Now()
 	co.met.shards.Add(1)
-	sub := client.BatchRequest{Jobs: jobs}
+	sub := client.BatchRequest{Jobs: jobs, Debug: debug}
 	resp, info, err := dispatch(co, ctx, len(jobs), affinityKey(sub), func(ctx context.Context, c *client.Client) (*client.BatchResponse, error) {
 		return c.Batch(ctx, sub)
 	})
@@ -548,9 +570,8 @@ func (co *Coordinator) runShard(ctx context.Context, jobs []client.FillRequest, 
 	co.shardLatency.Observe(time.Duration(tr.DispatchNS))
 	if err != nil {
 		co.met.shardFailures.Add(1)
-		if co.cfg.Log != nil {
-			co.cfg.Log.Printf("shard of %d jobs failed rid=%s: %v", len(jobs), reqid.From(ctx), err)
-		}
+		co.cfg.Log.Error("shard dispatch failed",
+			"jobs", len(jobs), "rid", reqid.From(ctx), "err", err)
 		msg := fmt.Sprintf("cluster: shard dispatch failed: %v", err)
 		for i := range out {
 			out[i] = client.BatchItem{Error: msg}

@@ -54,6 +54,10 @@ type Stats struct {
 	// traces, newest first — the on-demand view of where batch slices
 	// went and what each hop cost.
 	RecentShards []server.ShardTrace `json:"recent_shards,omitempty"`
+	// SlowRequests is the bounded ring of captured SLO breaches, newest
+	// first, each carrying its per-shard dispatch breakdown. Absent
+	// when slow capture is disabled or nothing has breached yet.
+	SlowRequests []server.SlowRequest `json:"slow_requests,omitempty"`
 }
 
 // metrics is the coordinator's dispatch accounting, all atomics.
@@ -126,6 +130,7 @@ func (co *Coordinator) Stats() Stats {
 		AffinityMisses:   co.met.affinityMisses.Load(),
 		Workers:          co.reg.snapshot(),
 		RecentShards:     co.shardLog.snapshot(),
+		SlowRequests:     co.slow.Snapshot(),
 	}
 }
 
@@ -134,10 +139,17 @@ func (co *Coordinator) Stats() Stats {
 // Every request passes through reqid.Middleware, so an X-Request-ID
 // (minted here when the caller sent none) is echoed in the response,
 // forwarded to every worker the request touches, and written to the
-// access log when Config.Log is set.
+// access log when Config.Log is set. Inside the tracing layer,
+// CaptureSlow measures every /v1/* request against the SLO threshold
+// and snapshots breaches — shard dispatch breakdown included — into
+// the slow-request ring.
 func (co *Coordinator) Handler() http.Handler {
-	return reqid.Middleware(co.cfg.Log, co.mux)
+	return reqid.Middleware(co.cfg.Log, server.CaptureSlow(co.slow, co.slo, co.mux))
 }
+
+// Metrics returns the coordinator's Prometheus scrape handler, for
+// mounting on an admin mux (-debug-addr) alongside pprof.
+func (co *Coordinator) Metrics() http.Handler { return co.prom.Handler() }
 
 // Serve runs the heartbeat loop and accepts connections on l until
 // ctx is cancelled, then shuts down gracefully: in-flight requests

@@ -3,7 +3,6 @@ package cluster
 import (
 	"context"
 	"io"
-	"log"
 	"net/http"
 	"net/http/httptest"
 	"regexp"
@@ -13,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/logx"
 	"repro/internal/reqid"
 	"repro/internal/server"
 )
@@ -189,11 +189,14 @@ func (s *syncBuf) String() string {
 	return s.b.String()
 }
 
-// batchLogLine picks the access-log line for POST /v1/batch carrying
-// the given trace ID out of a log sink.
+// batchLogLine picks the access-log record for POST /v1/batch carrying
+// the given trace ID out of a log sink (logfmt: one key=value token
+// per field).
 func batchLogLine(buf *syncBuf, rid string) string {
 	for _, line := range strings.Split(buf.String(), "\n") {
-		if strings.Contains(line, "POST /v1/batch") && strings.Contains(line, "rid="+rid) {
+		if strings.Contains(line, "method=POST") &&
+			strings.Contains(line, "path=/v1/batch") &&
+			strings.Contains(line, "rid="+rid) {
 			return line
 		}
 	}
@@ -207,7 +210,7 @@ func batchLogLine(buf *syncBuf, rid string) string {
 // request path from the fleet's logs.
 func TestTraceCorrelatesAcrossHops(t *testing.T) {
 	var wbuf, cbuf syncBuf
-	srv, err := server.New(server.Config{Workers: 2, Log: log.New(&wbuf, "", 0)})
+	srv, err := server.New(server.Config{Workers: 2, Log: logx.New(&wbuf, logx.Options{NoTime: true})})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +221,7 @@ func TestTraceCorrelatesAcrossHops(t *testing.T) {
 	co, err := New(Config{
 		Workers:  []string{wts.URL},
 		Registry: RegistryConfig{HeartbeatInterval: 25 * time.Millisecond, HeartbeatTimeout: 500 * time.Millisecond},
-		Log:      log.New(&cbuf, "", 0),
+		Log:      logx.New(&cbuf, logx.Options{NoTime: true}),
 	})
 	if err != nil {
 		t.Fatal(err)

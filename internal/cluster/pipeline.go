@@ -116,9 +116,8 @@ func (co *Coordinator) pipelineSharded(ctx context.Context, req client.PipelineR
 	co.shardLog.record(traces)
 	for _, err := range errs {
 		if err != nil {
-			if co.cfg.Log != nil {
-				co.cfg.Log.Printf("pipeline shard failed rid=%s: %v", reqid.From(ctx), err)
-			}
+			co.cfg.Log.Error("pipeline shard failed",
+				"rid", reqid.From(ctx), "err", err)
 			return nil, err
 		}
 	}

@@ -65,5 +65,9 @@ func (co *Coordinator) newProm() *prom.Registry {
 	r.GaugeFunc("dpfill_coord_wal_journal_bytes",
 		"Async job journal size on disk.",
 		func() float64 { return float64(co.jobs.JournalBytes()) })
+	if co.slo != nil {
+		co.slo.Register(r, "dpfill_coord")
+	}
+	prom.RegisterRuntime(r)
 	return r
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bcp"
 	"repro/internal/cube"
@@ -23,9 +24,34 @@ type fillArena struct {
 	bcpIvs []bcp.Interval
 }
 
-var arenaPool = sync.Pool{New: func() any { return new(fillArena) }}
+// arenaGets counts arena checkouts and arenaMisses the subset that
+// found the pool empty (a fresh allocation); hits = gets - misses.
+// They feed the dpfill_go_arena_* metric families, making the pool's
+// steady-state claim ("serving load reuses planes") observable.
+var (
+	arenaGets   atomic.Uint64
+	arenaMisses atomic.Uint64
+)
 
-func getArena() *fillArena { return arenaPool.Get().(*fillArena) }
+var arenaPool = sync.Pool{New: func() any {
+	arenaMisses.Add(1)
+	return new(fillArena)
+}}
+
+func getArena() *fillArena {
+	arenaGets.Add(1)
+	return arenaPool.Get().(*fillArena)
+}
+
+// PoolStats reports the fill arena pool's cumulative hit and miss
+// counts. Misses are loaded first: a get increments arenaGets before
+// any miss it causes, so gets read afterwards can only overcount hits,
+// never underflow.
+func PoolStats() (hits, misses uint64) {
+	m := arenaMisses.Load()
+	g := arenaGets.Load()
+	return g - m, m
+}
 
 func putArena(a *fillArena) {
 	a.ivs = a.ivs[:0]

@@ -28,6 +28,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/bcp"
 	"repro/internal/cube"
@@ -171,14 +172,29 @@ func Fill(s *cube.Set) (*cube.Set, *Result, error) {
 	return FillWith(s, Options{})
 }
 
-// FillWith is Fill with explicit execution options.
+// FillWith is Fill with explicit execution options. With opt.Trace
+// set, the run's per-stage wall times, BCP prune counters and arena
+// reuse land in the sink; each stage's clock reads sit behind a nil
+// check so the untraced hot path stays branch-predictable.
 func FillWith(s *cube.Set, opt Options) (*cube.Set, *Result, error) {
+	tr := opt.Trace
+	var start, mark time.Time
+	if tr != nil {
+		start = time.Now()
+		mark = start
+	}
 	n := s.Len()
 	rows := s.Width
 	ar := getArena()
 	defer putArena(ar)
+	reused := ar.pr != nil
 	pr := cube.PackRowsInto(ar.pr, s)
 	ar.pr = pr
+	if tr != nil {
+		now := time.Now()
+		tr.PackNS += now.Sub(mark).Nanoseconds()
+		mark = now
+	}
 	shards := resolveShards(opt.Shards, rows, rows*n)
 	ar.ivs = scanSharded(pr, shards, ar.ivs[:0])
 	intervals := ar.ivs
@@ -192,13 +208,29 @@ func FillWith(s *cube.Set, opt Options) (*cube.Set, *Result, error) {
 		}
 	}
 	ar.bcpIvs = bcpIvs
+	if tr != nil {
+		tr.ScanNS += time.Since(mark).Nanoseconds()
+	}
 	inst, err := bcp.NewInstance(maxInt(0, n-1), bcpIvs)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: building BCP instance: %w", err)
 	}
-	sol, err := inst.Solve()
+	var solveStats bcp.Stats
+	var bcpStats *bcp.Stats
+	if tr != nil {
+		bcpStats = &solveStats
+	}
+	sol, err := inst.SolveStats(bcpStats)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: solving BCP: %w", err)
+	}
+	if tr != nil {
+		// The bound/assign split comes from the solver's own clocks;
+		// the sliver around them (instance validation) lands in OtherNS.
+		tr.BCP.Add(solveStats)
+		tr.BoundNS += solveStats.BoundNS
+		tr.AssignNS += solveStats.AssignNS
+		mark = time.Now()
 	}
 
 	// §V-D reconstruction on the packed planes: the interval colored j
@@ -217,6 +249,11 @@ func FillWith(s *cube.Set, opt Options) (*cube.Set, *Result, error) {
 			peak = v
 		}
 	}
+	if tr != nil {
+		now := time.Now()
+		tr.ReconstructNS += now.Sub(mark).Nanoseconds()
+		mark = now
+	}
 	res := &Result{
 		Peak:         peak,
 		LowerBound:   sol.LowerBound,
@@ -232,6 +269,18 @@ func FillWith(s *cube.Set, opt Options) (*cube.Set, *Result, error) {
 	}
 	out := newColumnSet(rows, n)
 	unpackColumns(pr, out, shards)
+	if tr != nil {
+		tr.UnpackNS += time.Since(mark).Nanoseconds()
+		tr.Rows = rows
+		tr.Cols = n
+		tr.Shards = shards
+		tr.ArenaReused = tr.ArenaReused || reused
+		tr.Intervals += len(bcpIvs)
+		tr.ForcedUnit += forced
+		tr.Peak = res.Peak
+		tr.LowerBound = res.LowerBound
+		tr.seal(time.Since(start).Nanoseconds())
+	}
 	return out, res, nil
 }
 

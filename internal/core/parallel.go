@@ -14,6 +14,12 @@ type Options struct {
 	// Shards is the number of row shards the Map scan fans out across.
 	// 0 picks GOMAXPROCS; 1 runs the scan inline (no goroutines).
 	Shards int
+	// Trace, when non-nil, receives the fill's explain record:
+	// per-stage wall times, BCP prune counters, arena reuse, and (for
+	// windowed fills) per-window breakdowns. The sink is written by the
+	// fill that receives it and must not be shared across concurrent
+	// fills. nil (the default) skips all timing.
+	Trace *Trace
 }
 
 // smallScanCutoff is the matrix size (trits) below which sharding the

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/cube"
 )
@@ -33,6 +34,16 @@ func FillWindowedWith(s *cube.Set, windowSize int, opt Options) (*cube.Set, *Res
 	if n <= windowSize {
 		return FillWith(s, opt)
 	}
+	tr := opt.Trace
+	var start time.Time
+	if tr != nil {
+		start = time.Now()
+	}
+	// Each window's fill writes a fresh child trace, folded into the
+	// aggregate as a WindowTrace line plus stage-time sums; the child
+	// is reused across windows to keep the traced path allocation-flat.
+	var childTrace Trace
+	winOpt := opt
 	out := cube.NewSet(s.Width)
 	intervals := 0
 	forced := 0
@@ -58,9 +69,25 @@ func FillWindowedWith(s *cube.Set, windowSize int, opt Options) (*cube.Set, *Res
 		for j := base + 1; j < hi; j++ {
 			copy(win.Cubes[j-base], s.Cubes[j])
 		}
-		filled, res, err := FillWith(win, opt)
+		if tr != nil {
+			childTrace = Trace{}
+			winOpt.Trace = &childTrace
+		}
+		filled, res, err := FillWith(win, winOpt)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: window at %d: %w", base, err)
+		}
+		if tr != nil {
+			tr.merge(&childTrace)
+			tr.Windows = append(tr.Windows, WindowTrace{
+				Base:       base,
+				Len:        hi - base,
+				Intervals:  res.NumIntervals,
+				Forced:     res.ForcedUnit,
+				Peak:       res.Peak,
+				LowerBound: res.LowerBound,
+				NS:         childTrace.TotalNS,
+			})
 		}
 		intervals += res.NumIntervals
 		forced += res.ForcedUnit
@@ -85,10 +112,26 @@ func FillWindowedWith(s *cube.Set, windowSize int, opt Options) (*cube.Set, *Res
 	}
 	// The windowed peak is only a heuristic; report the true lower
 	// bound of the whole sequence so callers can see the gap.
+	var boundStart time.Time
+	if tr != nil {
+		boundStart = time.Now()
+	}
 	lb, err := Bottleneck(s)
 	if err != nil {
 		return nil, nil, err
 	}
 	res.LowerBound = lb
+	if tr != nil {
+		// The whole-sequence bound is bound work; count it with the
+		// windows' Algorithm 1 time.
+		tr.BoundNS += time.Since(boundStart).Nanoseconds()
+		tr.Rows = s.Width
+		tr.Cols = n
+		tr.Intervals = intervals
+		tr.ForcedUnit = forced
+		tr.Peak = res.Peak
+		tr.LowerBound = lb
+		tr.seal(time.Since(start).Nanoseconds())
+	}
 	return out, res, nil
 }

@@ -238,6 +238,21 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) []Result {
 
 // runJob executes one job, translating panics and context cancellation
 // into the job's error slot.
+// ctxErr reports the context's cancellation, treating an elapsed
+// deadline whose timer has not fired yet as DeadlineExceeded: on a
+// single-CPU box a CPU-bound fill can starve the runtime timer that
+// cancels the context, and the stage-granular checks below must not
+// depend on its delivery.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if dl, ok := ctx.Deadline(); ok && !time.Now().Before(dl) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
 func (e *Engine) runJob(ctx context.Context, idx int, job Job) (res Result) {
 	res = Result{Job: idx, Name: job.Name}
 	defer func() {
@@ -246,7 +261,7 @@ func (e *Engine) runJob(ctx context.Context, idx int, job Job) (res Result) {
 			res.Err = fmt.Errorf("engine: job %d (%s) panicked: %v", idx, job.Name, r)
 		}
 	}()
-	if err := ctx.Err(); err != nil {
+	if err := ctxErr(ctx); err != nil {
 		res.Err = err
 		return res
 	}
@@ -274,7 +289,7 @@ func (e *Engine) runJob(ctx context.Context, idx int, job Job) (res Result) {
 	}
 	// Cancellation is stage-granular: a deadline that fires mid-stage
 	// lets the stage finish, then stops the job here.
-	if err := ctx.Err(); err != nil {
+	if err := ctxErr(ctx); err != nil {
 		res.Err = err
 		return res
 	}
@@ -287,7 +302,7 @@ func (e *Engine) runJob(ctx context.Context, idx int, job Job) (res Result) {
 	// A job that overran its deadline (or whose batch was cancelled)
 	// while filling reports that instead of a result the caller has
 	// already given up on.
-	if err := ctx.Err(); err != nil {
+	if err := ctxErr(ctx); err != nil {
 		res.Err = err
 		return res
 	}

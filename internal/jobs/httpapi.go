@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+
+	"repro/internal/reqid"
 )
 
 // IdempotencyHeader carries the client-minted submit idempotency key:
@@ -35,7 +37,7 @@ func Mount(mux *http.ServeMux, m *Manager, decode DecodeSubmit) {
 		if !ok {
 			return
 		}
-		st, err := m.Submit(payload, total, r.Header.Get(IdempotencyHeader))
+		st, err := m.SubmitTraced(payload, total, r.Header.Get(IdempotencyHeader), reqid.From(r.Context()))
 		if err != nil {
 			writeJobError(w, err)
 			return

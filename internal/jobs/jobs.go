@@ -31,6 +31,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/logx"
+	"repro/internal/reqid"
 )
 
 // State is a job's lifecycle position.
@@ -156,6 +159,11 @@ type Config struct {
 	// fallback (or fail it outright) instead of re-sharding it across
 	// the fleet.
 	Start <-chan struct{}
+	// Log, when non-nil, receives one structured record per job
+	// settlement, carrying the trace ID of the submit that accepted the
+	// job — journal-replayed runs included — so an async job's
+	// completion joins the fleet's access logs on rid=.
+	Log *logx.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -189,6 +197,7 @@ var (
 type job struct {
 	id       string
 	key      string // idempotency key; "" when the submit carried none
+	rid      string // trace ID of the accepting submit; journaled with it
 	payload  json.RawMessage
 	state    State
 	created  time.Time
@@ -300,6 +309,7 @@ func (m *Manager) replay(recs []record) {
 			j := &job{
 				id:      rec.ID,
 				key:     rec.Key,
+				rid:     rec.Rid,
 				payload: rec.Payload,
 				state:   StateQueued,
 				created: rec.Created,
@@ -346,7 +356,7 @@ func (m *Manager) replay(recs []record) {
 func (m *Manager) liveRecords() []record {
 	var recs []record
 	for _, j := range m.jobs {
-		recs = append(recs, record{Op: "accept", ID: j.id, Key: j.key, Created: j.created, Total: j.total, Payload: j.payload})
+		recs = append(recs, record{Op: "accept", ID: j.id, Key: j.key, Rid: j.rid, Created: j.created, Total: j.total, Payload: j.payload})
 		if rec, ok := terminalRecord(j); ok {
 			recs = append(recs, rec)
 		}
@@ -422,6 +432,15 @@ func newID() string {
 // admission slot is reserved first, and the job only becomes visible
 // once its accept record is durable.
 func (m *Manager) Submit(payload json.RawMessage, total int, key string) (Status, error) {
+	return m.SubmitTraced(payload, total, key, "")
+}
+
+// SubmitTraced is Submit carrying the accepting request's trace ID:
+// the ID is journaled with the job and restored to the runner's
+// context, so the job's completion log line (and any access-log lines
+// its execution emits) joins the original submit on rid= — even when
+// the run is a journal replay in a later process.
+func (m *Manager) SubmitTraced(payload json.RawMessage, total int, key, rid string) (Status, error) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -448,6 +467,7 @@ func (m *Manager) Submit(payload json.RawMessage, total int, key string) (Status
 	j := &job{
 		id:      newID(),
 		key:     key,
+		rid:     rid,
 		payload: payload,
 		state:   StateQueued,
 		created: time.Now().UTC(),
@@ -461,7 +481,7 @@ func (m *Manager) Submit(payload json.RawMessage, total int, key string) (Status
 	}
 	m.mu.Unlock()
 	if m.wal != nil {
-		rec := record{Op: "accept", ID: j.id, Key: j.key, Created: j.created, Total: j.total, Payload: j.payload}
+		rec := record{Op: "accept", ID: j.id, Key: j.key, Rid: j.rid, Created: j.created, Total: j.total, Payload: j.payload}
 		if err := m.wal.append(rec); err != nil {
 			m.mu.Lock()
 			m.active--
@@ -840,10 +860,18 @@ func (m *Manager) run(j *job) {
 		cancel()
 	}
 	m.mu.Unlock()
-	// The progress reporter rides the Runner's context: shard-aware
-	// runners (the coordinator's fleet dispatch) report per-shard
-	// completion, and watchers stream it as SSE progress events.
-	pctx := withProgress(jctx, func(done int) { m.setProgress(j, done) })
+	// The Runner's context carries the accepting submit's trace ID —
+	// restored from the journal on a replayed run — so everything the
+	// execution logs or dispatches downstream correlates with the
+	// original request, plus the progress reporter: shard-aware runners
+	// (the coordinator's fleet dispatch) report per-shard completion,
+	// and watchers stream it as SSE progress events.
+	rctx := jctx
+	if j.rid != "" {
+		rctx = reqid.With(jctx, j.rid)
+	}
+	pctx := withProgress(rctx, func(done int) { m.setProgress(j, done) })
+	started := time.Now()
 	result, err := m.cfg.Runner(pctx, j.payload)
 	cancel()
 	m.mu.Lock()
@@ -869,6 +897,11 @@ func (m *Manager) run(j *job) {
 	m.mu.Unlock()
 	if settled != "" {
 		m.journalSettle(j.id, settled, finished, result, errMsg)
+		m.cfg.Log.Info("job",
+			"id", j.id,
+			"state", string(settled),
+			"dur_ms", float64(time.Since(started).Microseconds())/1000,
+			"rid", j.rid)
 	}
 }
 

@@ -30,8 +30,11 @@ type record struct {
 	Op string `json:"op"` // accept | done | fail | cancel
 	ID string `json:"id"`
 	// Accept fields. Key is the client's idempotency key, journaled so
-	// submit dedupe survives a restart.
+	// submit dedupe survives a restart; Rid is the accepting request's
+	// trace ID, journaled so a replayed run's completion log still
+	// correlates with the submit that created the job.
 	Key     string          `json:"key,omitempty"`
+	Rid     string          `json:"rid,omitempty"`
 	Created time.Time       `json:"created,omitzero"`
 	Total   int             `json:"total,omitempty"`
 	Payload json.RawMessage `json:"payload,omitempty"`

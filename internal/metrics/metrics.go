@@ -43,6 +43,7 @@ type series struct {
 	gauge  *Gauge
 	fn     func() float64
 	hist   *Histogram
+	histFn func() HistogramSnapshot
 }
 
 // family groups every series registered under one metric name.
@@ -189,6 +190,28 @@ func (r *Registry) Histogram(name, help string, buckets []time.Duration, labels 
 	return h
 }
 
+// HistogramSnapshot is a scrape-time view of an externally maintained
+// histogram, for HistogramFunc sources such as runtime/metrics.
+type HistogramSnapshot struct {
+	// Bounds are the ascending bucket upper bounds in seconds.
+	Bounds []float64
+	// Counts has len(Bounds)+1 entries; the last is the +Inf overflow.
+	Counts []uint64
+	// Sum is the total of all observations in seconds. Sources that
+	// cannot provide one (runtime/metrics pause histograms) leave it 0.
+	Sum float64
+}
+
+// HistogramFunc registers a histogram whose buckets are read at scrape
+// time from an external source — the fit for the Go runtime's own
+// histograms (GC pause distribution), which the runtime maintains and
+// this registry only renders. A snapshot whose Counts length is not
+// len(Bounds)+1 is skipped at scrape time rather than rendered
+// malformed.
+func (r *Registry) HistogramFunc(name, help string, fn func() HistogramSnapshot, labels ...Label) {
+	r.register(name, help, kindHistogram, &series{labels: labels, histFn: fn})
+}
+
 // Observe records one duration.
 func (h *Histogram) Observe(d time.Duration) {
 	if d < 0 {
@@ -263,6 +286,22 @@ func writeSeries(w io.Writer, f *family, s *series) {
 			labelString(append(append([]Label{}, s.labels...), Label{"le", "+Inf"})), cum)
 		fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(s.labels),
 			formatFloat(time.Duration(h.sum.Load()).Seconds()))
+		fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(s.labels), cum)
+	case s.histFn != nil:
+		snap := s.histFn()
+		if len(snap.Counts) != len(snap.Bounds)+1 {
+			return
+		}
+		var cum uint64
+		for i, bound := range snap.Bounds {
+			cum += snap.Counts[i]
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+				labelString(append(append([]Label{}, s.labels...), Label{"le", formatFloat(bound)})), cum)
+		}
+		cum += snap.Counts[len(snap.Bounds)]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+			labelString(append(append([]Label{}, s.labels...), Label{"le", "+Inf"})), cum)
+		fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(s.labels), formatFloat(snap.Sum))
 		fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(s.labels), cum)
 	}
 }

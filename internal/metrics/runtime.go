@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"runtime"
+	rtm "runtime/metrics"
+	"sort"
+)
+
+// gcPauseBounds re-buckets the runtime's several-hundred-bucket GC
+// pause histogram into a compact scrape-friendly layout: 10µs to 1s,
+// roughly logarithmic.
+var gcPauseBounds = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1,
+}
+
+// RegisterRuntime registers the dpfill_go_* process-health families:
+// goroutine count, heap footprint, GC cycle counter and the GC pause
+// distribution, all read from the runtime at scrape time (a scrape
+// costs a handful of runtime/metrics reads; serving hot paths are
+// untouched). Both tiers mount these, so one dashboard shows whether a
+// latency regression is the fill algorithm or the process drowning.
+func RegisterRuntime(r *Registry) {
+	r.GaugeFunc("dpfill_go_goroutines",
+		"Live goroutines in the process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("dpfill_go_heap_alloc_bytes",
+		"Bytes of live heap objects plus unswept spans.",
+		readUint64Gauge("/memory/classes/heap/objects:bytes"))
+	r.GaugeFunc("dpfill_go_heap_objects",
+		"Live objects on the heap.",
+		readUint64Gauge("/gc/heap/objects:objects"))
+	r.CounterFunc("dpfill_go_gc_cycles_total",
+		"Completed GC cycles since process start.",
+		func() uint64 { return readUint64("/gc/cycles/total:gc-cycles") })
+	r.HistogramFunc("dpfill_go_gc_pause_seconds",
+		"Distribution of stop-the-world GC pause latencies.",
+		gcPauseSnapshot)
+}
+
+func readUint64(name string) uint64 {
+	s := []rtm.Sample{{Name: name}}
+	rtm.Read(s)
+	if s[0].Value.Kind() != rtm.KindUint64 {
+		return 0
+	}
+	return s[0].Value.Uint64()
+}
+
+func readUint64Gauge(name string) func() float64 {
+	return func() float64 { return float64(readUint64(name)) }
+}
+
+// gcPauseSnapshot folds the runtime's fine-grained pause histogram
+// into gcPauseBounds. Each runtime bucket's count lands in the first
+// of our bounds at or above its upper edge (the conservative choice:
+// a pause is never reported faster than it was); the sum is
+// approximated from bucket edges since the runtime does not expose an
+// exact one.
+func gcPauseSnapshot() HistogramSnapshot {
+	s := []rtm.Sample{{Name: "/gc/pauses:seconds"}}
+	rtm.Read(s)
+	if s[0].Value.Kind() != rtm.KindFloat64Histogram {
+		return HistogramSnapshot{}
+	}
+	h := s[0].Value.Float64Histogram()
+	counts := make([]uint64, len(gcPauseBounds)+1)
+	var sum float64
+	for i, cnt := range h.Counts {
+		if cnt == 0 {
+			continue
+		}
+		// Counts[i] covers [Buckets[i], Buckets[i+1]); the edges may be
+		// ±Inf at the extremes.
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		j := sort.SearchFloat64s(gcPauseBounds, hi)
+		counts[minIntRT(j, len(gcPauseBounds))] += cnt
+		switch {
+		case hi <= gcPauseBounds[len(gcPauseBounds)-1] && hi > 0:
+			sum += float64(cnt) * hi
+		case lo > 0:
+			sum += float64(cnt) * lo
+		}
+	}
+	return HistogramSnapshot{Bounds: gcPauseBounds, Counts: counts, Sum: sum}
+}
+
+func minIntRT(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

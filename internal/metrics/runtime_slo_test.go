@@ -1,0 +1,185 @@
+package metrics
+
+import (
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func scrape(r *Registry) string {
+	var b strings.Builder
+	r.Write(&b)
+	return b.String()
+}
+
+// TestCounterFuncReadsSourceAtScrape: a CounterFunc series renders the
+// source's current value on every scrape, with no registry-side copy.
+func TestCounterFuncReadsSourceAtScrape(t *testing.T) {
+	r := NewRegistry()
+	var v uint64 = 7
+	r.CounterFunc("src_total", "Reads an external counter.", func() uint64 { return v })
+	if !strings.Contains(scrape(r), "src_total 7\n") {
+		t.Fatalf("scrape missing src_total 7:\n%s", scrape(r))
+	}
+	v = 19
+	if !strings.Contains(scrape(r), "src_total 19\n") {
+		t.Fatalf("scrape did not follow the source to 19:\n%s", scrape(r))
+	}
+}
+
+// TestHistogramFuncRendersSnapshot: an external histogram snapshot
+// renders as cumulative buckets with +Inf, sum and count.
+func TestHistogramFuncRendersSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.HistogramFunc("ext_seconds", "External histogram.", func() HistogramSnapshot {
+		return HistogramSnapshot{
+			Bounds: []float64{0.01, 0.1},
+			Counts: []uint64{2, 3, 1},
+			Sum:    0.25,
+		}
+	})
+	out := scrape(r)
+	for _, want := range []string{
+		`ext_seconds_bucket{le="0.01"} 2`,
+		`ext_seconds_bucket{le="0.1"} 5`,
+		`ext_seconds_bucket{le="+Inf"} 6`,
+		"ext_seconds_sum 0.25",
+		"ext_seconds_count 6",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramFuncSkipsMalformedSnapshot: a snapshot whose Counts
+// length does not match Bounds is dropped from the scrape instead of
+// rendered malformed.
+func TestHistogramFuncSkipsMalformedSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.HistogramFunc("bad_seconds", "Mismatched snapshot.", func() HistogramSnapshot {
+		return HistogramSnapshot{Bounds: []float64{1}, Counts: []uint64{1}}
+	})
+	out := scrape(r)
+	if strings.Contains(out, "bad_seconds_bucket") {
+		t.Fatalf("malformed snapshot rendered buckets:\n%s", out)
+	}
+	// The family header still appears: the registration is real, only
+	// this scrape's snapshot was unusable.
+	if !strings.Contains(out, "# TYPE bad_seconds histogram") {
+		t.Fatalf("family header missing:\n%s", out)
+	}
+}
+
+// TestRegisterRuntime: the dpfill_go_* process families render with
+// live runtime values — a positive goroutine count and heap footprint,
+// and a GC cycle counter that reflects a forced collection.
+func TestRegisterRuntime(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r)
+	runtime.GC() // guarantee at least one cycle and one pause sample
+	out := scrape(r)
+	for _, want := range []string{
+		"# TYPE dpfill_go_goroutines gauge",
+		"# TYPE dpfill_go_heap_alloc_bytes gauge",
+		"# TYPE dpfill_go_heap_objects gauge",
+		"# TYPE dpfill_go_gc_cycles_total counter",
+		"# TYPE dpfill_go_gc_pause_seconds histogram",
+		`dpfill_go_gc_pause_seconds_bucket{le="+Inf"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("runtime scrape missing %q:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "dpfill_go_goroutines ") && strings.HasSuffix(line, " 0") {
+			t.Fatalf("goroutine gauge is zero: %q", line)
+		}
+	}
+	if strings.Contains(out, "dpfill_go_gc_cycles_total 0\n") {
+		t.Fatal("gc_cycles_total still zero after runtime.GC()")
+	}
+}
+
+// TestSLOObserveAndBurnRate: breaches count against the threshold, and
+// the burn rate is computed over the sliding window only, so it decays
+// once the slow spell ends.
+func TestSLOObserveAndBurnRate(t *testing.T) {
+	s := NewSLO(10*time.Millisecond, 4)
+	if s.Threshold() != 10*time.Millisecond {
+		t.Fatalf("threshold = %v", s.Threshold())
+	}
+	if got := s.BurnRate(); got != 0 {
+		t.Fatalf("burn rate before any request = %v", got)
+	}
+	if s.Observe(time.Millisecond) {
+		t.Fatal("1ms observed as a breach of a 10ms SLO")
+	}
+	if !s.Observe(20 * time.Millisecond) {
+		t.Fatal("20ms not observed as a breach of a 10ms SLO")
+	}
+	if got := s.BurnRate(); got != 0.5 {
+		t.Fatalf("burn rate after 1 breach / 2 requests = %v, want 0.5", got)
+	}
+	// Four fast requests fill the window and evict the breach.
+	for i := 0; i < 4; i++ {
+		s.Observe(time.Millisecond)
+	}
+	if got := s.BurnRate(); got != 0 {
+		t.Fatalf("burn rate after window rolled over = %v, want 0", got)
+	}
+}
+
+// TestSLORegister: Register mounts the four families under the prefix
+// with live totals.
+func TestSLORegister(t *testing.T) {
+	s := NewSLO(time.Second, 0) // 0 window picks the default
+	s.Observe(2 * time.Second)
+	s.Observe(time.Millisecond)
+	r := NewRegistry()
+	s.Register(r, "dpfill_test")
+	out := scrape(r)
+	for _, want := range []string{
+		"dpfill_test_slo_requests_total 2",
+		"dpfill_test_slo_breaches_total 1",
+		"dpfill_test_slo_burn_rate 0.5",
+		"dpfill_test_slo_threshold_seconds 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SLO scrape missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestNamesKeepsRegistrationOrder pins the order contract tests and
+// the debug endpoint rely on.
+func TestNamesKeepsRegistrationOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "b")
+	r.Gauge("a_gauge", "a")
+	names := r.Names()
+	if len(names) != 2 || names[0] != "b_total" || names[1] != "a_gauge" {
+		t.Fatalf("Names() = %v, want [b_total a_gauge]", names)
+	}
+}
+
+// TestFormatFloatSpecials: the text format spells out the IEEE
+// specials instead of printing Go's default representations.
+func TestFormatFloatSpecials(t *testing.T) {
+	cases := map[float64]string{
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		1.5:          "1.5",
+		2:            "2",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Fatalf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := formatFloat(math.NaN()); got != "NaN" {
+		t.Fatalf("formatFloat(NaN) = %q", got)
+	}
+}

@@ -16,9 +16,10 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
-	"log"
 	"net/http"
 	"time"
+
+	"repro/internal/logx"
 )
 
 // Header is the HTTP header the fleet propagates trace IDs in.
@@ -82,10 +83,11 @@ func TraceFrom(ctx context.Context) Trace {
 // this hop's parent span, and a fresh span ID is minted for the hop
 // itself. The full trace rides the request context for downstream
 // hops, and — when logger is non-nil — every request writes one
-// access-log line: method, path, status, duration, trace ID, span ID
-// and parent span. Both the worker and the coordinator serve through
-// this, so their log lines join on rid= and nest by span=/parent=.
-func Middleware(logger *log.Logger, next http.Handler) http.Handler {
+// structured access-log record: method, path, status, duration, trace
+// ID, span ID and parent span. Both the worker and the coordinator
+// serve through this, so their log lines join on rid= and nest by
+// span=/parent=.
+func Middleware(logger *logx.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		tr := Trace{
 			ID:     r.Header.Get(Header),
@@ -108,9 +110,14 @@ func Middleware(logger *log.Logger, next http.Handler) http.Handler {
 		if parent == "" {
 			parent = "-"
 		}
-		logger.Printf("%s %s %d %.2fms rid=%s span=%s parent=%s",
-			r.Method, r.URL.Path, sw.status,
-			float64(time.Since(start).Microseconds())/1000, tr.ID, tr.Span, parent)
+		logger.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"dur_ms", float64(time.Since(start).Microseconds())/1000,
+			"rid", tr.ID,
+			"span", tr.Span,
+			"parent", parent)
 	})
 }
 

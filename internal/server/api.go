@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/cube"
 )
 
@@ -44,6 +45,11 @@ type FillRequest struct {
 	// OmitCubes drops the filled matrix from the response, for callers
 	// that only want the statistics on large sets.
 	OmitCubes bool `json:"omit_cubes,omitempty"`
+	// Debug asks for the fill-core explain trace (per-stage timings,
+	// BCP prune counters, arena reuse) in the response. DP fills are
+	// always traced server-side to feed the stage histograms; Debug
+	// only controls whether the trace is included in the answer.
+	Debug bool `json:"debug,omitempty"`
 }
 
 // FillResponse is the POST /v1/fill result payload.
@@ -72,6 +78,10 @@ type FillResponse struct {
 	DurationMillis float64 `json:"duration_ms"`
 	// Cached reports whether the result came from the LRU cache.
 	Cached bool `json:"cached"`
+	// Explain is the fill-core stage trace, present when the request
+	// set debug and the job ran DP-fill. On a cache hit it is the trace
+	// of the run that populated the entry (Cached says so).
+	Explain *core.Trace `json:"explain,omitempty"`
 }
 
 // BatchRequest is the POST /v1/batch payload: many fill jobs run as
@@ -79,8 +89,8 @@ type FillResponse struct {
 type BatchRequest struct {
 	Jobs []FillRequest `json:"jobs"`
 	// Debug asks a coordinator to include the per-shard dispatch
-	// breakdown (Shards) in the response. A single worker ignores it:
-	// it has no shards to report.
+	// breakdown (Shards) in the response, and every tier to include
+	// each DP job's fill-core explain trace on its result.
 	Debug bool `json:"debug,omitempty"`
 }
 

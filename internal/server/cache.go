@@ -8,6 +8,7 @@ import (
 	"slices"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/cube"
 )
 
@@ -22,6 +23,11 @@ type cachedFill struct {
 	Peak    int
 	Total   int
 	Profile []int
+	// Explain is the stage trace of the run that produced the entry, so
+	// a debug request answered from the cache still explains the cost
+	// of computing its result (the response's Cached flag marks it as
+	// the original run's trace).
+	Explain *core.Trace
 }
 
 // clone deep-copies the entry, nil sub-fields preserved.
@@ -34,6 +40,11 @@ func (e *cachedFill) clone() *cachedFill {
 	}
 	if e.Filled != nil {
 		out.Filled = e.Filled.Clone()
+	}
+	if e.Explain != nil {
+		tr := *e.Explain
+		tr.Windows = slices.Clone(e.Explain.Windows)
+		out.Explain = &tr
 	}
 	return out
 }

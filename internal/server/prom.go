@@ -1,8 +1,13 @@
 package server
 
 import (
+	"repro/internal/core"
 	prom "repro/internal/metrics"
 )
+
+// fillStages is the fixed stage set of a fill-core explain trace, in
+// trace order (see core.Trace.StageNS).
+var fillStages = []string{"pack", "scan", "bound", "assign", "reconstruct", "unpack", "other"}
 
 // newProm builds the worker's Prometheus registry. Counters and gauges
 // read at scrape time from the state the service already maintains —
@@ -49,6 +54,9 @@ func (s *Server) newProm() *prom.Registry {
 			"Per-stage pipeline latency.", prom.DefBuckets,
 			prom.Label{Name: "stage", Value: stage})
 	}
+	// The job-manager closures read s.jobs lazily: the registry is
+	// built before jobs.Open so journal replay can't race histogram
+	// wiring, and no scrape can arrive before New returns.
 	r.GaugeFunc("dpfill_async_jobs_active",
 		"Async jobs queued or running.",
 		func() float64 { active, _ := s.jobs.Occupancy(); return float64(active) })
@@ -56,10 +64,30 @@ func (s *Server) newProm() *prom.Registry {
 		"Settled async jobs still queryable.",
 		func() float64 { _, retained := s.jobs.Occupancy(); return float64(retained) })
 	r.CounterFunc("dpfill_wal_records_total",
-		"Records appended to the async job journal.", s.jobs.WALAppends)
+		"Records appended to the async job journal.",
+		func() uint64 { return s.jobs.WALAppends() })
 	r.GaugeFunc("dpfill_wal_journal_bytes",
 		"Async job journal size on disk.",
 		func() float64 { return float64(s.jobs.JournalBytes()) })
+	// One labelled series per fill-core trace stage: every DP fill is
+	// traced server-side, so these aggregate the explain breakdown
+	// whether or not any request asked for debug output.
+	m.fillStage = make(map[string]*prom.Histogram)
+	for _, stage := range fillStages {
+		m.fillStage[stage] = r.Histogram("dpfill_fill_stage_seconds",
+			"Per-stage fill-core wall time.", prom.DefBuckets,
+			prom.Label{Name: "stage", Value: stage})
+	}
+	r.CounterFunc("dpfill_go_arena_hits_total",
+		"Fill-core arena pool gets answered by a warm arena.",
+		func() uint64 { hits, _ := core.PoolStats(); return hits })
+	r.CounterFunc("dpfill_go_arena_misses_total",
+		"Fill-core arena pool gets that allocated a fresh arena.",
+		func() uint64 { _, misses := core.PoolStats(); return misses })
+	if s.slo != nil {
+		s.slo.Register(r, "dpfill")
+	}
+	prom.RegisterRuntime(r)
 	return r
 }
 

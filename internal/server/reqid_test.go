@@ -3,12 +3,14 @@ package server
 import (
 	"bytes"
 	"encoding/json"
-	"log"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/logx"
 	"repro/internal/reqid"
 )
 
@@ -46,7 +48,7 @@ func TestRequestIDEchoedAndMinted(t *testing.T) {
 // writes one line naming method, path, status and the request ID.
 func TestAccessLogCarriesRequestID(t *testing.T) {
 	var buf bytes.Buffer
-	s, err := New(Config{Log: log.New(&buf, "", 0)})
+	s, err := New(Config{Log: logx.New(&buf, logx.Options{NoTime: true})})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,6 +71,85 @@ func TestAccessLogCarriesRequestID(t *testing.T) {
 		if !strings.Contains(line, want) {
 			t.Fatalf("access log %q missing %q", line, want)
 		}
+	}
+}
+
+// lockedBuf is a goroutine-safe log sink: the async job workers write
+// settlement records from their own goroutines.
+type lockedBuf struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *lockedBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *lockedBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+// TestAsyncJobCompletionLogCarriesRequestID: a job submitted through
+// POST /v1/jobs with an X-Request-ID settles minutes later on a worker
+// goroutine — its completion record must still carry the submitting
+// request's trace ID, so operators can join the access log's 202 to
+// the eventual settlement.
+func TestAsyncJobCompletionLogCarriesRequestID(t *testing.T) {
+	var buf lockedBuf
+	s, err := New(Config{Log: logx.New(&buf, logx.Options{NoTime: true})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { s.Close() })
+
+	body := `{"jobs":[{"cubes":["0XX1","X10X"]}]}`
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(reqid.Header, "rid-async-5")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var line string
+		for _, l := range strings.Split(buf.String(), "\n") {
+			if strings.Contains(l, "msg=job") && strings.Contains(l, "id="+st.ID) {
+				line = l
+				break
+			}
+		}
+		if line != "" {
+			for _, want := range []string{"state=done", "rid=rid-async-5"} {
+				if !strings.Contains(line, want) {
+					t.Fatalf("settlement record %q missing %q", line, want)
+				}
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no settlement record for job %s in log:\n%s", st.ID, buf.String())
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 }
 

@@ -34,7 +34,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"net/http"
 	"time"
@@ -44,6 +43,8 @@ import (
 	"repro/internal/exp"
 	"repro/internal/fill"
 	"repro/internal/jobs"
+	"repro/internal/logx"
+	prom "repro/internal/metrics"
 	"repro/internal/order"
 	"repro/internal/pipeline"
 	"repro/internal/reqid"
@@ -97,11 +98,16 @@ type Config struct {
 	// JobWorkers is how many async jobs execute concurrently (default
 	// 1 — strict FIFO; each batch already parallelizes on the engine).
 	JobWorkers int
-	// Log, when non-nil, receives one access-log line per request:
-	// method, path, status, duration and the request ID, so fleet
-	// operators can correlate a request across coordinator and worker
-	// logs. nil disables access logging.
-	Log *log.Logger
+	// Log, when non-nil, receives one structured access-log record per
+	// request (method, path, status, duration, trace/span IDs) plus
+	// job-completion records, so fleet operators can correlate a
+	// request across coordinator and worker logs. nil disables logging.
+	Log *logx.Logger
+	// SlowThreshold is the latency SLO: requests over it are counted as
+	// SLO breaches and their full trace+explain snapshot lands in the
+	// /stats slow_requests ring. 0 means the default 1s; negative
+	// disables slow capture and the SLO families.
+	SlowThreshold time.Duration
 }
 
 // withDefaults resolves every unset field.
@@ -133,6 +139,9 @@ func (c Config) withDefaults() Config {
 	if c.ShutdownGrace <= 0 {
 		c.ShutdownGrace = 5 * time.Second
 	}
+	if c.SlowThreshold == 0 {
+		c.SlowThreshold = time.Second
+	}
 	return c
 }
 
@@ -146,6 +155,9 @@ type Server struct {
 	met   *metrics
 	jobs  *jobs.Manager
 	mux   *http.ServeMux
+	prom  *prom.Registry
+	slow  *SlowRing
+	slo   *prom.SLO
 }
 
 // New returns a Server ready to serve via Handler, Serve or
@@ -165,6 +177,14 @@ func New(cfg Config) (*Server, error) {
 		cache: newLRUCache(cfg.CacheSize),
 		met:   newMetrics(),
 	}
+	if cfg.SlowThreshold > 0 {
+		s.slow = NewSlowRing(slowRingSize)
+		s.slo = prom.NewSLO(cfg.SlowThreshold, 0)
+	}
+	// The registry must exist before the job manager: jobs.Open replays
+	// the journal immediately, and a replayed batch feeds the latency
+	// and fill-stage histograms the registry wires into s.met.
+	s.prom = s.newProm()
 	// The async runner is the exact path the synchronous endpoints
 	// use (runJob dispatches a journaled payload to the batch or
 	// pipeline executor); determinism of the fill algorithms makes
@@ -177,6 +197,7 @@ func New(cfg Config) (*Server, error) {
 		MaxQueued: cfg.MaxQueuedJobs,
 		Retention: cfg.JobRetention,
 		Workers:   cfg.JobWorkers,
+		Log:       cfg.Log,
 	})
 	if err != nil {
 		return nil, err
@@ -189,7 +210,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/pipeline", s.handlePipeline)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.Handle("GET /metrics", s.newProm().Handler())
+	mux.Handle("GET /metrics", s.prom.Handler())
 	jobs.Mount(mux, mgr, s.decodeJobSubmit)
 	s.mux = mux
 	return s, nil
@@ -205,15 +226,23 @@ func (s *Server) Close() error { return s.jobs.Close() }
 // custom mux or an httptest server. Every request passes through
 // reqid.Middleware: an incoming X-Request-ID is echoed in the
 // response (and minted when absent), carried on the request context,
-// and written to the access log when Config.Log is set.
+// and written to the access log when Config.Log is set. Inside the
+// tracing layer, CaptureSlow measures every /v1/* request against the
+// SLO threshold and snapshots breaches into the slow-request ring.
 func (s *Server) Handler() http.Handler {
-	return reqid.Middleware(s.cfg.Log, s.mux)
+	return reqid.Middleware(s.cfg.Log, CaptureSlow(s.slow, s.slo, s.mux))
 }
+
+// Metrics returns the tier's Prometheus scrape handler, for mounting
+// on an admin mux (-debug-addr) alongside pprof.
+func (s *Server) Metrics() http.Handler { return s.prom.Handler() }
 
 // Stats returns a snapshot of the serving statistics.
 func (s *Server) Stats() Stats {
 	queued, inflight := s.eng.Load()
-	return s.met.snapshot(s.cache.Len(), queued, inflight, s.eng.Bound())
+	st := s.met.snapshot(s.cache.Len(), queued, inflight, s.eng.Bound())
+	st.SlowRequests = s.slow.Snapshot()
+	return st
 }
 
 // Serve accepts connections on l until ctx is cancelled, then shuts
@@ -253,13 +282,16 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 
 // resolveFill validates a FillRequest and resolves its algorithms.
 // DP-fill is pinned to one shard: the engine pool is the concurrency
-// layer here, and per-fill fan-out would oversubscribe it.
-func (s *Server) resolveFill(req FillRequest) (engine.Job, FillResponse, string, error) {
+// layer here, and per-fill fan-out would oversubscribe it. DP jobs
+// carry a fresh explain trace sink (the returned *core.Trace); the
+// engine writes it during the run and runFill/runBatch fold it into
+// the stage histograms afterwards. Non-DP fillers return a nil trace.
+func (s *Server) resolveFill(req FillRequest) (engine.Job, FillResponse, string, *core.Trace, error) {
 	var job engine.Job
 	var resp FillResponse
 	set, err := s.parseSet(req.Cubes, req.STIL)
 	if err != nil {
-		return job, resp, "", err
+		return job, resp, "", nil, err
 	}
 	seed := req.Seed
 	if seed == 0 {
@@ -271,11 +303,11 @@ func (s *Server) resolveFill(req FillRequest) (engine.Job, FillResponse, string,
 	}
 	ord, err := order.ByName(ordName, seed)
 	if err != nil {
-		return job, resp, "", badRequestf("%v", err)
+		return job, resp, "", nil, badRequestf("%v", err)
 	}
-	fl, err := serverFiller(req.Filler, req.Window, seed)
+	fl, tr, err := serverFiller(req.Filler, req.Window, seed)
 	if err != nil {
-		return job, resp, "", badRequestf("%v", err)
+		return job, resp, "", nil, badRequestf("%v", err)
 	}
 	job = engine.Job{
 		Name:     req.Name,
@@ -294,32 +326,39 @@ func (s *Server) resolveFill(req FillRequest) (engine.Job, FillResponse, string,
 		Filler:   fl.Name(),
 	}
 	digest := fillDigest(set, ord.Name(), fl.Name(), seed)
-	return job, resp, digest, nil
+	return job, resp, digest, tr, nil
 }
 
 // serverFiller resolves a filler name with DP-fill pinned to a single
 // shard (see resolveFill). An empty name means DP-fill. A window >= 2
 // selects the streaming windowed DP-fill; its distinct filler name
 // ("DP-fill(wN)") flows into the response and the cache digest, so
-// windowed and monolithic results never alias in the cache.
-func serverFiller(name string, window int, seed int64) (fill.Filler, error) {
+// windowed and monolithic results never alias in the cache. DP fillers
+// are built with the returned trace sink attached; each call builds a
+// private filler+sink pair, so concurrent jobs never share one.
+func serverFiller(name string, window int, seed int64) (fill.Filler, *core.Trace, error) {
 	if name == "" {
 		name = "dp"
 	}
 	fl, err := fill.ByNameSerial(name, seed)
 	if err != nil {
-		return nil, err
-	}
-	if window == 0 {
-		return fl, nil
-	}
-	if window < 2 {
-		return nil, fmt.Errorf("window %d: must be >= 2", window)
+		return nil, nil, err
 	}
 	if fl.Name() != "DP-fill" {
-		return nil, fmt.Errorf("window is only valid with the dp filler, not %q", name)
+		if window != 0 {
+			return nil, nil, fmt.Errorf("window is only valid with the dp filler, not %q", name)
+		}
+		return fl, nil, nil
 	}
-	return fill.DPWindowed(window, core.Options{Shards: 1}), nil
+	tr := &core.Trace{}
+	opt := core.Options{Shards: 1, Trace: tr}
+	if window == 0 {
+		return fill.DPWith(opt), tr, nil
+	}
+	if window < 2 {
+		return nil, nil, fmt.Errorf("window %d: must be >= 2", window)
+	}
+	return fill.DPWindowed(window, opt), tr, nil
 }
 
 // finishFill completes a response from either a cache entry or an
@@ -341,12 +380,15 @@ func finishFill(resp *FillResponse, entry *cachedFill, omitCubes, cached bool, e
 // runFill answers one fill job: cache lookup, then one engine job.
 func (s *Server) runFill(ctx context.Context, req FillRequest) (*FillResponse, error) {
 	start := time.Now()
-	job, resp, digest, err := s.resolveFill(req)
+	job, resp, digest, tr, err := s.resolveFill(req)
 	if err != nil {
 		return nil, err
 	}
 	if entry, ok := s.cache.Get(digest); ok {
 		finishFill(&resp, entry, req.OmitCubes, true, time.Since(start))
+		if req.Debug {
+			resp.Explain = entry.Explain
+		}
 		s.met.observeJob(time.Since(start), true)
 		return &resp, nil
 	}
@@ -361,9 +403,17 @@ func (s *Server) runFill(ctx context.Context, req FillRequest) (*FillResponse, e
 		Peak:    r.Peak,
 		Total:   r.Total,
 		Profile: r.Filled.ToggleProfile(),
+		Explain: tr,
 	}
 	s.cache.Put(digest, entry)
 	finishFill(&resp, entry, req.OmitCubes, false, time.Since(start))
+	if tr != nil {
+		s.met.observeFillTrace(tr)
+		AnnotateExplain(ctx, tr)
+		if req.Debug {
+			resp.Explain = tr
+		}
+	}
 	// Metrics record the engine-reported execution time, keeping
 	// /v1/fill and /v1/batch miss samples comparable.
 	s.met.observeJob(r.Duration, false)
@@ -424,12 +474,14 @@ func (s *Server) runBatch(ctx context.Context, req BatchRequest) *BatchResponse 
 	var engineJobs []engine.Job
 	var jobIdx []int                // engineJobs[k] answers items[jobIdx[k]]
 	var digests []string            // aligned with engineJobs
+	var traces []*core.Trace        // aligned with engineJobs; nil for non-DP
 	pending := make(map[string]int) // digest -> index into engineJobs
 	type dupRef struct{ item, job int }
 	var dups []dupRef
 	for i, jr := range req.Jobs {
 		starts[i] = time.Now()
-		job, resp, digest, err := s.resolveFill(jr)
+		debug := req.Debug || jr.Debug
+		job, resp, digest, tr, err := s.resolveFill(jr)
 		if err != nil {
 			items[i] = BatchItem{Error: err.Error()}
 			s.met.observeError()
@@ -438,6 +490,9 @@ func (s *Server) runBatch(ctx context.Context, req BatchRequest) *BatchResponse 
 		resps[i] = resp
 		if entry, ok := s.cache.Get(digest); ok {
 			finishFill(&resps[i], entry, jr.OmitCubes, true, time.Since(starts[i]))
+			if debug {
+				resps[i].Explain = entry.Explain
+			}
 			s.met.observeJob(time.Since(starts[i]), true)
 			items[i] = BatchItem{Result: &resps[i]}
 			continue
@@ -457,6 +512,7 @@ func (s *Server) runBatch(ctx context.Context, req BatchRequest) *BatchResponse 
 		engineJobs = append(engineJobs, job)
 		jobIdx = append(jobIdx, i)
 		digests = append(digests, digest)
+		traces = append(traces, tr)
 	}
 	done = len(req.Jobs) - len(engineJobs) - len(dups)
 	progress(done)
@@ -477,10 +533,18 @@ func (s *Server) runBatch(ctx context.Context, req BatchRequest) *BatchResponse 
 			Peak:    res.Peak,
 			Total:   res.Total,
 			Profile: res.Filled.ToggleProfile(),
+			Explain: traces[k],
 		}
 		entries[k] = entry
 		s.cache.Put(digests[k], entry)
 		finishFill(&resps[i], entry, req.Jobs[i].OmitCubes, false, res.Duration)
+		if tr := traces[k]; tr != nil {
+			s.met.observeFillTrace(tr)
+			AnnotateExplain(ctx, tr)
+			if req.Debug || req.Jobs[i].Debug {
+				resps[i].Explain = tr
+			}
+		}
 		s.met.observeJob(res.Duration, false)
 		items[i] = BatchItem{Result: &resps[i]}
 	}
@@ -495,6 +559,9 @@ func (s *Server) runBatch(ctx context.Context, req BatchRequest) *BatchResponse 
 		// The duplicate's latency is its real wall-clock wait: resolve
 		// plus the engine run that produced the shared result.
 		finishFill(&resps[i], entry, req.Jobs[i].OmitCubes, true, time.Since(starts[i]))
+		if req.Debug || req.Jobs[i].Debug {
+			resps[i].Explain = entry.Explain
+		}
 		s.met.observeJob(time.Since(starts[i]), true)
 		items[i] = BatchItem{Result: &resps[i]}
 	}

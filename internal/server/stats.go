@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	prom "repro/internal/metrics"
 	"repro/internal/pipeline"
 )
@@ -48,6 +49,11 @@ type Stats struct {
 	P99Millis float64 `json:"p99_ms"`
 	// LatencySamples is how many samples the percentiles cover.
 	LatencySamples int `json:"latency_samples"`
+	// SlowRequests is the bounded ring of captured SLO breaches, newest
+	// first: each entry carries the request's trace IDs plus the explain
+	// evidence recorded while it ran. Absent when slow capture is
+	// disabled or nothing has breached yet.
+	SlowRequests []SlowRequest `json:"slow_requests,omitempty"`
 }
 
 // metrics accumulates serving statistics behind one mutex; every field
@@ -73,6 +79,10 @@ type metrics struct {
 	// "atpg/K" fold into "atpg") to its Prometheus histogram; set once
 	// at construction by newProm, read-only afterwards.
 	stageLatency map[string]*prom.Histogram
+	// fillStage maps a fill-core trace stage (pack, scan, bound, assign,
+	// reconstruct, unpack, other) to its Prometheus histogram; set once
+	// at construction by newProm, read-only afterwards.
+	fillStage map[string]*prom.Histogram
 }
 
 func newMetrics() *metrics {
@@ -130,6 +140,21 @@ func (m *metrics) observePipeline(d time.Duration, stages []pipeline.StageTiming
 		base, _, _ := strings.Cut(st.Stage, "/")
 		if h := m.stageLatency[base]; h != nil {
 			h.Observe(time.Duration(st.DurationMillis * 1e6))
+		}
+	}
+}
+
+// observeFillTrace fans a completed DP fill's stage breakdown into the
+// stage-labelled histogram family. Traces are per-job and sealed by
+// the time the engine returns, so no lock is needed beyond the
+// histograms' own atomics.
+func (m *metrics) observeFillTrace(tr *core.Trace) {
+	if tr == nil || m.fillStage == nil {
+		return
+	}
+	for _, st := range tr.StageNS() {
+		if h := m.fillStage[st.Stage]; h != nil {
+			h.Observe(time.Duration(st.NS))
 		}
 	}
 }
