@@ -1,0 +1,103 @@
+// Command dpvet is the repository's project-invariant static
+// analyzer: a dependency-free driver (go/ast + go/types, packages
+// loaded via `go list -deps -export -json`) running the analyzers in
+// internal/lint. Each analyzer is derived from a bug class this repo
+// has actually shipped and fixed; dpvet is the regression gate that
+// keeps the class extinct. CI runs `go run ./cmd/dpvet ./...` as a
+// hard lint step.
+//
+// Usage:
+//
+//	dpvet [-json] [-dir DIR] [-run LIST] [-list] [packages...]
+//
+// Exit status: 0 clean, 1 findings, 2 load or usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonReport is the -json output shape: always an object with a
+// diagnostics array (never null — an empty tree serializes as
+// {"diagnostics":[],...}), so CI can assert emptiness with jq.
+type jsonReport struct {
+	Diagnostics []lint.Diagnostic `json:"diagnostics"`
+	Suppressed  int               `json:"suppressed"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dpvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut  = fs.Bool("json", false, "emit findings as JSON ({\"diagnostics\":[...],\"suppressed\":N})")
+		dir      = fs.String("dir", ".", "directory to resolve package patterns from")
+		runNames = fs.String("run", "all", "comma-separated analyzers to run (see -list)")
+		list     = fs.Bool("list", false, "print the analyzer catalog and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: dpvet [-json] [-dir DIR] [-run LIST] [-list] [packages...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := lint.ByName(*runNames)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	pkgs, err := lint.Load(*dir, fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	res := lint.Run(pkgs, analyzers)
+	// Findings print relative to -dir so CI logs and editors agree.
+	absDir, _ := filepath.Abs(*dir)
+	for i := range res.Diagnostics {
+		d := &res.Diagnostics[i]
+		if rel, err := filepath.Rel(absDir, d.File); err == nil && !filepath.IsAbs(rel) {
+			d.File = rel
+		}
+	}
+	if *jsonOut {
+		rep := jsonReport{Diagnostics: res.Diagnostics, Suppressed: res.Suppressed}
+		if rep.Diagnostics == nil {
+			rep.Diagnostics = []lint.Diagnostic{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range res.Diagnostics {
+			fmt.Fprintln(stdout, d)
+		}
+		if len(res.Diagnostics) > 0 {
+			fmt.Fprintf(stderr, "dpvet: %d finding(s), %d suppressed\n", len(res.Diagnostics), res.Suppressed)
+		}
+	}
+	if len(res.Diagnostics) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestCleanPackage: a clean package exits 0 and prints nothing.
+func TestCleanPackage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-dir", "../..", "./internal/metrics"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("stdout = %q, want empty", stdout.String())
+	}
+}
+
+// TestJSONShape: -json always emits an object with a non-null
+// diagnostics array, so `jq -e '.diagnostics == []'` works in CI.
+func TestJSONShape(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "-dir", "../..", "./internal/metrics"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	var rep struct {
+		Diagnostics []json.RawMessage `json:"diagnostics"`
+		Suppressed  *int              `json:"suppressed"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if !bytes.Contains(stdout.Bytes(), []byte(`"diagnostics": [`)) {
+		t.Errorf("diagnostics array missing or null:\n%s", stdout.String())
+	}
+	if rep.Suppressed == nil {
+		t.Error("suppressed field missing")
+	}
+}
+
+// TestFindingsExitOne: the guardedby fixture has known findings, so
+// running dpvet over it must exit 1 and print file:line diagnostics.
+func TestFindingsExitOne(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-dir", "../../internal/lint/testdata/src/guardedby", "."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "guardedby.go:") {
+		t.Errorf("diagnostics missing file:line:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "finding(s)") {
+		t.Errorf("stderr missing summary: %q", stderr.String())
+	}
+}
+
+// TestRunSubset: -run restricts the catalog; an unknown name is a
+// usage error (exit 2).
+func TestRunSubset(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-run", "errwrap", "-dir", "../..", "./internal/metrics"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-run errwrap: exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if code := run([]string{"-run", "nosuch"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-run nosuch: exit = %d, want 2", code)
+	}
+}
+
+// TestList prints the analyzer catalog.
+func TestList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list: exit = %d", code)
+	}
+	for _, name := range []string{"guardedby", "noplainlog", "hotalloc", "ctxdeadline", "registryorder", "errwrap"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %q", name)
+		}
+	}
+}

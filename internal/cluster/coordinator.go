@@ -200,6 +200,7 @@ func New(cfg Config) (*Coordinator, error) {
 	// fleet: without it a replayed job would dispatch against zero
 	// healthy workers and mis-route to the local fallback (or fail).
 	co.jobsGate = make(chan struct{})
+	// dpvet:ignore registryorder safe: jobsGate holds co.runJob until Run()'s first heartbeat sweep, and newProm reads co.jobs.WALAppends so the order cannot flip
 	co.jobs, err = jobs.Open(jobs.Config{
 		Runner:    co.runJob,
 		Dir:       cfg.DataDir,

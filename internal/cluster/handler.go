@@ -83,10 +83,13 @@ const shardRingSize = 32
 // happen once per batch (not per shard), so the mutex is nowhere near
 // the dispatch hot path.
 type shardRing struct {
-	mu   sync.Mutex
-	buf  [shardRingSize]server.ShardTrace
+	mu sync.Mutex
+	// dpvet:guardedby mu
+	buf [shardRingSize]server.ShardTrace
+	// dpvet:guardedby mu
 	next int
-	n    int
+	// dpvet:guardedby mu
+	n int
 }
 
 func (r *shardRing) record(trs []server.ShardTrace) {
@@ -273,6 +276,7 @@ func (co *Coordinator) decode(w http.ResponseWriter, r *http.Request, v any) boo
 				errorResponse{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
 			return false
 		}
+		// dpvet:ignore errwrap decode-error detail is the 400 contract: callers debug their own malformed bodies
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed JSON: " + err.Error()})
 		return false
 	}
@@ -305,12 +309,15 @@ func (co *Coordinator) decodeJobSubmit(w http.ResponseWriter, r *http.Request) (
 			return nil, 0, false
 		}
 		if err := req.Pipeline.Validate(); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			// Validation failures wrap pipeline.ErrBadRequest; the
+			// taxonomy sink maps them to 400 and serializes once.
+			co.writeError(w, err)
 			return nil, 0, false
 		}
 		payload, err := json.Marshal(pipelineEnvelope{Pipeline: req.Pipeline})
 		if err != nil {
-			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+			writeJSON(w, http.StatusInternalServerError,
+				errorResponse{Error: "internal error: encoding job payload"})
 			return nil, 0, false
 		}
 		return payload, req.Pipeline.Steps(), true
@@ -321,7 +328,8 @@ func (co *Coordinator) decodeJobSubmit(w http.ResponseWriter, r *http.Request) (
 	}
 	payload, err := json.Marshal(batch)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		writeJSON(w, http.StatusInternalServerError,
+			errorResponse{Error: "internal error: encoding job payload"})
 		return nil, 0, false
 	}
 	return payload, len(batch.Jobs), true

@@ -40,21 +40,27 @@ type worker struct {
 	url string
 	c   *client.Client
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	// dpvet:guardedby mu
 	healthy bool
 	// gen is the worker's ejection generation: markDown bumps it, and a
 	// heartbeat sweep only applies its result if the generation it read
 	// at poll time still holds. Without it a sweep that polled the
 	// worker just before a mid-dispatch transport failure ejected it
 	// would land afterwards and readmit the zombie with stale health.
-	gen    uint64
-	fails  int          // consecutive failed heartbeats
-	stats  client.Stats // last successful /stats poll
-	polled time.Time    // when stats was taken
+	// dpvet:guardedby mu
+	gen uint64
+	// dpvet:guardedby mu
+	fails int // consecutive failed heartbeats
+	// dpvet:guardedby mu
+	stats client.Stats // last successful /stats poll
+	// dpvet:guardedby mu
+	polled time.Time // when stats was taken
 	// outstanding counts jobs this coordinator has dispatched to the
 	// worker and not yet seen answered. It is the live component of
 	// the load score: /stats polls lag by up to a heartbeat interval,
 	// but outstanding moves the instant a shard is dispatched.
+	// dpvet:guardedby mu
 	outstanding int
 }
 

@@ -148,6 +148,7 @@ func unpackColumns(pr *cube.PackedRows, out *cube.Set, shards int) {
 	wg.Wait()
 }
 
+// dpvet:hot
 // scanRowsAppend maps rows [lo, hi) on the packed representation:
 // pre-fills their fillable stretches in pr's planes and appends their
 // toggle intervals to dst in row order.
@@ -158,6 +159,7 @@ func scanRowsAppend(dst []ToggleInterval, pr *cube.PackedRows, lo, hi int) []Tog
 	return dst
 }
 
+// dpvet:hot
 // mapRowPacked is mapRow on the packed row planes: one pass over the
 // row's care words, iterating set bits with TrailingZeros64, with
 // stretch pre-fills as word ORs — an X run costs one word op per 64

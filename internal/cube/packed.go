@@ -52,6 +52,7 @@ func (p *Packed) Len() int { return p.n }
 // CareCount returns the number of specified bits of cube i.
 func (p *Packed) CareCount(i int) int { return p.careCount[i] }
 
+// dpvet:hot
 // HD returns the guaranteed toggle count between cubes i and j: the
 // number of jointly specified differing pins.
 func (p *Packed) HD(i, j int) int {
@@ -64,6 +65,7 @@ func (p *Packed) HD(i, j int) int {
 	return d
 }
 
+// dpvet:hot
 // XUnion returns the number of pins where at least one of cubes i, j is
 // X — the filler's freedom between the pair.
 func (p *Packed) XUnion(i, j int) int {
@@ -74,6 +76,7 @@ func (p *Packed) XUnion(i, j int) int {
 	return p.Width - both
 }
 
+// dpvet:hot
 // Expected2 returns twice the expected Hamming distance between cubes i
 // and j under uniform random filling (doubling keeps it integral:
 // jointly specified differing pins count 2, pins with any X count 1).
@@ -203,6 +206,7 @@ func (p *PackedRows) At(i, j int) Trit {
 // path for stretch extraction) but must mutate only through FillSpan.
 func (p *PackedRows) RowWords(i int) (care, val []uint64) { return p.care[i], p.val[i] }
 
+// dpvet:hot
 // FillSpan specifies columns lo..hi (inclusive) of row i with the care
 // value v. The span must currently be all X; spans with hi < lo are
 // no-ops.
@@ -216,6 +220,7 @@ func (p *PackedRows) FillSpan(i, lo, hi int, v Trit) {
 	}
 }
 
+// dpvet:hot
 // setRange sets bits lo..hi inclusive in the word slice.
 func setRange(words []uint64, lo, hi int) {
 	lw, hw := lo/64, hi/64
@@ -350,6 +355,7 @@ func (p *PackedRows) ToggleProfile() []int {
 	return profile
 }
 
+// dpvet:hot
 // AddToggles accumulates the packed toggle profile into profile, which
 // must have length N-1. Separated from ToggleProfile so callers with a
 // pooled histogram can avoid the allocation.

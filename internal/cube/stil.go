@@ -140,7 +140,7 @@ func parseSignalsWidth(text string, line int) (int, error) {
 	}
 	var hi int
 	if _, err := fmt.Sscanf(strings.TrimSpace(t), "si[0..%d]", &hi); err != nil {
-		return 0, fmt.Errorf("stil: line %d: malformed Signals header: %v", line, err)
+		return 0, fmt.Errorf("stil: line %d: malformed Signals header: %w", line, err)
 	}
 	if hi < 0 {
 		return 0, fmt.Errorf("stil: line %d: signal range si[0..%d] is empty", line, hi)

@@ -236,8 +236,6 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) []Result {
 	return results
 }
 
-// runJob executes one job, translating panics and context cancellation
-// into the job's error slot.
 // ctxErr reports the context's cancellation, treating an elapsed
 // deadline whose timer has not fired yet as DeadlineExceeded: on a
 // single-CPU box a CPU-bound fill can starve the runtime timer that
@@ -253,6 +251,10 @@ func ctxErr(ctx context.Context) error {
 	return nil
 }
 
+// runJob executes one job, translating panics and context cancellation
+// into the job's error slot.
+//
+// dpvet:hot
 func (e *Engine) runJob(ctx context.Context, idx int, job Job) (res Result) {
 	res = Result{Job: idx, Name: job.Name}
 	defer func() {

@@ -237,15 +237,23 @@ type Manager struct {
 	cfg Config
 	wal *wal // nil without persistence
 
-	mu         sync.Mutex
-	byID       map[string]*job
-	byKey      map[string]*job // idempotency key -> job, while retained
-	watchers   map[string][]*watcher
-	jobs       []*job // creation order; retention evicts from the front
-	queue      []*job // FIFO of jobs awaiting a worker
-	closed     bool
+	mu sync.Mutex
+	// dpvet:guardedby mu
+	byID map[string]*job
+	// dpvet:guardedby mu
+	byKey map[string]*job // idempotency key -> job, while retained
+	// dpvet:guardedby mu
+	watchers map[string][]*watcher
+	// dpvet:guardedby mu
+	jobs []*job // creation order; retention evicts from the front
+	// dpvet:guardedby mu
+	queue []*job // FIFO of jobs awaiting a worker
+	// dpvet:guardedby mu
+	closed bool
+	// dpvet:guardedby mu
 	submitting int // Submits between slot reservation and publication
-	appended   int // journal records appended since the last compaction
+	// dpvet:guardedby mu
+	appended int // journal records appended since the last compaction
 
 	wake   chan struct{} // buffered(1): signals workers that queue grew
 	ctx    context.Context
@@ -298,7 +306,10 @@ func Open(cfg Config) (*Manager, error) {
 
 // replay rebuilds manager state from journal records: accepts create
 // jobs, terminal records settle them, and whatever is left unsettled
-// goes back on the queue.
+// goes back on the queue. Only Open calls it, before any worker
+// goroutine exists, so it runs with exclusivity.
+//
+// dpvet:locked mu
 func (m *Manager) replay(recs []record) {
 	for _, rec := range recs {
 		switch rec.Op {
@@ -353,6 +364,8 @@ func (m *Manager) replay(recs []record) {
 // liveRecords renders the retained state as a compact journal: one
 // accept per job, plus its terminal record when settled. Callers hold
 // mu, or (during Open) exclusivity.
+//
+// dpvet:locked mu
 func (m *Manager) liveRecords() []record {
 	var recs []record
 	for _, j := range m.jobs {
@@ -379,6 +392,8 @@ func terminalRecord(j *job) (record, bool) {
 
 // enforceRetention evicts the oldest settled jobs beyond the retention
 // bound. Callers hold mu (or, during Open, exclusivity).
+//
+// dpvet:locked mu
 func (m *Manager) enforceRetention() {
 	settled := 0
 	for _, j := range m.jobs {

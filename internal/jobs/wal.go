@@ -121,7 +121,7 @@ func readWAL(path string) ([]record, error) {
 		if jerr := json.Unmarshal(line, &rec); jerr != nil {
 			// A complete but unparsable line means the journal is
 			// corrupt beyond a torn tail; refuse to guess.
-			return nil, fmt.Errorf("jobs: corrupt journal record: %v", jerr)
+			return nil, fmt.Errorf("jobs: corrupt journal record: %w", jerr)
 		}
 		recs = append(recs, rec)
 	}

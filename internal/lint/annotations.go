@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// collectGuardedFields maps each struct field annotated
+// `// dpvet:guardedby <name>` (doc comment or same-line comment) to
+// its guard's field name.
+func collectGuardedFields(p *Pass) map[*types.Var]string {
+	guarded := map[*types.Var]string{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guard := fieldGuard(field)
+				if guard == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := p.Info.Defs[name].(*types.Var); ok {
+						guarded[v] = guard
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+func fieldGuard(field *ast.Field) string {
+	for _, cg := range [2]*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if args, ok := directive(c.Text, "guardedby"); ok {
+				guard, _, _ := strings.Cut(args, " ")
+				return guard
+			}
+		}
+	}
+	return ""
+}
+
+// funcIsHot reports whether a declaration carries `// dpvet:hot`.
+func funcIsHot(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if _, ok := directive(c.Text, "hot"); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// funcLockedGuards returns the guard names a `// dpvet:locked a, b`
+// annotation documents as held by every caller.
+func funcLockedGuards(doc *ast.CommentGroup) []string {
+	if doc == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range doc.List {
+		args, ok := directive(c.Text, "locked")
+		if !ok {
+			continue
+		}
+		names, _, _ := strings.Cut(args, " ")
+		for _, n := range strings.Split(names, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// exprPath renders a selector chain of plain identifiers ("s",
+// "s.reg.mu"). Anything else — calls, indexing, dereferences spelled
+// explicitly — yields "" (not statically trackable).
+func exprPath(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprPath(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprPath(e.X)
+	}
+	return ""
+}
+
+// rootIdent returns the leftmost identifier of a selector chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// pkgFunc resolves a call to a package-level function of an imported
+// package, returning the package path and function name ("fmt",
+// "Sprintf"); ok is false for anything else (methods, locals, builtins).
+func pkgFunc(p *Pass, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := p.Info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// isRelUnder reports whether the pass's module-relative path sits in
+// the tree rooted at prefix ("cmd" matches "cmd/dpfill", not "cmds").
+func isRelUnder(rel, prefix string) bool {
+	return rel == prefix || strings.HasPrefix(rel, prefix+"/")
+}
+
+// selectedField returns the struct field a selector expression reads
+// or writes, or nil when the selector is not a field access.
+func selectedField(p *Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxLoopThreshold is how many statements (counted recursively) a
+// loop body may hold before it must consult its context. Small loops
+// finish; big ones are where a single-CPU process starves a deadline
+// — the exact PR 9 bug, where engine workers ran whole jobs past an
+// elapsed-but-undelivered context deadline.
+const ctxLoopThreshold = 8
+
+// AnalyzerCtxDeadline requires long loops in dpvet:hot functions that
+// have a context.Context in scope to touch that context somewhere in
+// the body — ctx.Err(), ctx.Done(), or handing ctx to a callee that
+// checks. Hot functions without a context in scope are exempt: they
+// cannot check what they were never given (their callers own the
+// deadline).
+var AnalyzerCtxDeadline = &Analyzer{
+	Name: "ctxdeadline",
+	Doc:  "long loops in dpvet:hot functions with a ctx in scope must check the deadline",
+	Run:  runCtxDeadline,
+}
+
+func runCtxDeadline(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !funcIsHot(fd.Doc) {
+				continue
+			}
+			if !funcHasCtxParam(p, fd) {
+				continue
+			}
+			checkLoops(p, fd.Body)
+		}
+	}
+}
+
+func funcHasCtxParam(p *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if tv, ok := p.Info.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkLoops(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		var loopBody *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			loopBody = loop.Body
+		case *ast.RangeStmt:
+			loopBody = loop.Body
+		default:
+			return true
+		}
+		if stmtCount(loopBody) < ctxLoopThreshold {
+			return true
+		}
+		if touchesContext(p, loopBody) {
+			return true
+		}
+		p.Reportf(n.Pos(),
+			"loop with %d statements in a dpvet:hot function never consults its context: add a ctx.Err()/ctx.Done() check so an elapsed deadline is observed (PR 9 single-CPU starvation class)",
+			stmtCount(loopBody))
+		return true
+	})
+}
+
+// stmtCount counts statements recursively.
+func stmtCount(body *ast.BlockStmt) int {
+	n := 0
+	ast.Inspect(body, func(node ast.Node) bool {
+		if _, ok := node.(ast.Stmt); ok {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// touchesContext reports whether the loop body references any value
+// of type context.Context — a direct Err/Done check, or passing the
+// context onward to a callee that owns the check.
+func touchesContext(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if v, ok := obj.(*types.Var); ok && isContextType(v.Type()) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerErrWrap enforces the error taxonomy two ways:
+//
+//  1. everywhere: fmt.Errorf with an error operand must wrap it with
+//     %w — a %v/%s wrap severs errors.Is/As, which the serving layer
+//     relies on to map ErrBadRequest to 400s;
+//  2. in internal/server and internal/cluster: err.Error() must not
+//     flow raw into a response body (http.Error, writeJSON, or the
+//     error-response composite) — responses go through the
+//     ErrBadRequest taxonomy sink (writeError), which is itself
+//     exempt by name.
+var AnalyzerErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf wraps error operands with %w; handlers map errors through the taxonomy, never raw err.Error()",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkErrorfWrap(p, call)
+			}
+			return true
+		})
+	}
+	if p.RelPath == "internal/server" || p.RelPath == "internal/cluster" {
+		checkRawErrorBodies(p)
+	}
+}
+
+func checkErrorfWrap(p *Pass, call *ast.CallExpr) {
+	pkgPath, name, ok := pkgFunc(p, call)
+	if !ok || pkgPath != "fmt" || name != "Errorf" || len(call.Args) < 2 {
+		return
+	}
+	format, ok := constString(p, call.Args[0])
+	if !ok {
+		return
+	}
+	errArgs := 0
+	for _, arg := range call.Args[1:] {
+		if tv, ok := p.Info.Types[arg]; ok && isErrorType(tv.Type) {
+			errArgs++
+		}
+	}
+	if errArgs == 0 {
+		return
+	}
+	if strings.Count(format, "%w") < errArgs {
+		p.Reportf(call.Pos(), "fmt.Errorf has %d error operand(s) but %d %%w verb(s): wrap with %%w so errors.Is/As (and the ErrBadRequest taxonomy) see the cause",
+			errArgs, strings.Count(format, "%w"))
+	}
+}
+
+// checkRawErrorBodies flags err.Error() used as (or concatenated
+// into) an argument of http.Error or a writeJSON-style response
+// helper, outside the taxonomy sink itself.
+func checkRawErrorBodies(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name == "writeError" {
+				// The taxonomy sink: it maps through ErrBadRequest
+				// and serializes exactly once, by design.
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !isResponseWriterCall(p, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					if pos, ok := findRawErrorString(p, arg); ok {
+						p.Reportf(pos, "raw err.Error() flows into a response body: map it through the ErrBadRequest taxonomy (writeError) instead")
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isResponseWriterCall recognizes http.Error and the repo's
+// writeJSON(...) response helpers.
+func isResponseWriterCall(p *Pass, call *ast.CallExpr) bool {
+	if pkgPath, name, ok := pkgFunc(p, call); ok {
+		return pkgPath == "net/http" && name == "Error"
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		return id.Name == "writeJSON"
+	}
+	return false
+}
+
+// findRawErrorString looks for an e.Error() call (e of type error)
+// anywhere in the argument expression — including inside composite
+// literals and string concatenations.
+func findRawErrorString(p *Pass, arg ast.Expr) (pos token.Pos, found bool) {
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Error" {
+			return true
+		}
+		if tv, ok := p.Info.Types[sel.X]; ok && isErrorType(tv.Type) {
+			pos, found = call.Pos(), true
+			return false
+		}
+		return true
+	})
+	return pos, found
+}
+
+func constString(p *Pass, e ast.Expr) (string, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}

@@ -1,0 +1,417 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerGuardedBy enforces `// dpvet:guardedby mu` field
+// annotations: an annotated field may only be read or written while
+// the named guard is held on the same receiver chain. The walker is
+// block-structured and source-ordered — Lock/RLock raise the held
+// count for "<base>.<guard>", non-deferred Unlock/RUnlock lower it,
+// branch effects are discarded when the branch terminates (the
+// `if bad { mu.Unlock(); return }` idiom) — so the common Go locking
+// shapes check precisely without a full CFG. Escape hatches, in
+// checking order: a `// dpvet:locked mu` annotation or a *Locked name
+// suffix (caller holds the lock), accesses on a value freshly
+// constructed in the same function (no other goroutine can see it),
+// and `// dpvet:ignore guardedby <reason>`.
+var AnalyzerGuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc:  "fields annotated dpvet:guardedby mu may only be accessed with mu held",
+	Run:  runGuardedBy,
+}
+
+func runGuardedBy(p *Pass) {
+	guarded := collectGuardedFields(p)
+	if len(guarded) == 0 {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &guardWalker{
+				pass:    p,
+				guarded: guarded,
+				locked:  funcLockedGuards(fd.Doc),
+				name:    fd.Name.Name,
+				fresh:   map[types.Object]bool{},
+			}
+			w.walkStmts(fd.Body.List, lockState{})
+		}
+	}
+}
+
+// lockState counts how many times each "<base>.<guard>" path is held.
+type lockState map[string]int
+
+func (s lockState) clone() lockState {
+	c := make(lockState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+type guardWalker struct {
+	pass    *Pass
+	guarded map[*types.Var]string
+	locked  []string // guards the enclosing function documents as held
+	name    string
+	// fresh marks locals assigned from a composite literal or new():
+	// values no other goroutine can reach yet, so their guarded
+	// fields may be initialized without the lock.
+	fresh map[types.Object]bool
+}
+
+// walkStmts processes a statement list in source order, mutating held,
+// and reports whether the list terminates control flow (return, panic,
+// break/continue/goto) — callers discard a terminated branch's lock
+// effects.
+func (w *guardWalker) walkStmts(stmts []ast.Stmt, held lockState) bool {
+	terminated := false
+	for _, stmt := range stmts {
+		if w.walkStmt(stmt, held) {
+			terminated = true
+		}
+	}
+	return terminated
+}
+
+func (w *guardWalker) walkStmt(stmt ast.Stmt, held lockState) bool {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if key, delta := lockOp(s.X); key != "" {
+			held[key] += delta
+			if held[key] < 0 {
+				held[key] = 0
+			}
+			return false
+		}
+		if isPanicCall(s.X) {
+			w.scanExpr(s.X, held)
+			return true
+		}
+		w.scanExpr(s.X, held)
+	case *ast.DeferStmt:
+		// A deferred Unlock releases at return, not here: the guard
+		// stays held for the rest of the function. Deferred closures
+		// inherit the current state — `mu.Lock(); defer func() {...;
+		// mu.Unlock()}()` runs its body with the lock still held.
+		if key, _ := lockOp(s.Call); key != "" {
+			return false
+		}
+		w.scanExpr(s.Call, held)
+	case *ast.AssignStmt:
+		w.markFresh(s)
+		for _, e := range s.Rhs {
+			w.scanExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.scanExpr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				w.markFreshSpec(vs)
+				for _, v := range vs.Values {
+					w.scanExpr(v, held)
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X, held)
+	case *ast.SendStmt:
+		w.scanExpr(s.Chan, held)
+		w.scanExpr(s.Value, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scanExpr(e, held)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, held)
+	case *ast.IfStmt:
+		return w.walkIf(s, held)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.scanExpr(s.Cond, held)
+		}
+		loop := held.clone()
+		w.walkStmts(s.Body.List, loop)
+		if s.Post != nil {
+			w.walkStmt(s.Post, loop)
+		}
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, held)
+		w.walkStmts(s.Body.List, held.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.scanExpr(s.Tag, held)
+		}
+		w.walkCases(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		w.walkStmt(s.Assign, held)
+		w.walkCases(s.Body, held)
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			branch := held.clone()
+			if cc.Comm != nil {
+				w.walkStmt(cc.Comm, branch)
+			}
+			w.walkStmts(cc.Body, branch)
+		}
+	case *ast.GoStmt:
+		// A goroutine runs later: whatever is held now is not held
+		// when its body runs.
+		if fn, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			for _, a := range s.Call.Args {
+				w.scanExpr(a, held)
+			}
+			w.walkStmts(fn.Body.List, lockState{})
+		} else {
+			w.scanExpr(s.Call, held)
+		}
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, held)
+	}
+	return false
+}
+
+// walkIf models the two branch shapes that matter for lock state: a
+// terminating branch's effects are discarded, a falling-through
+// branch's effects persist, and when both arms fall through the state
+// is their pointwise minimum (held only if held on every path).
+func (w *guardWalker) walkIf(s *ast.IfStmt, held lockState) bool {
+	if s.Init != nil {
+		w.walkStmt(s.Init, held)
+	}
+	w.scanExpr(s.Cond, held)
+	pre := held.clone()
+	bodyTerm := w.walkStmts(s.Body.List, held)
+	if s.Else == nil {
+		if bodyTerm {
+			restore(held, pre)
+		}
+		return false
+	}
+	elseHeld := pre.clone()
+	var elseTerm bool
+	switch e := s.Else.(type) {
+	case *ast.BlockStmt:
+		elseTerm = w.walkStmts(e.List, elseHeld)
+	case *ast.IfStmt:
+		elseTerm = w.walkIf(e, elseHeld)
+	}
+	switch {
+	case bodyTerm && elseTerm:
+		restore(held, pre)
+		return true
+	case bodyTerm:
+		restore(held, elseHeld)
+	case elseTerm:
+		// keep body's state
+	default:
+		for k := range held {
+			if elseHeld[k] < held[k] {
+				held[k] = elseHeld[k]
+			}
+		}
+	}
+	return false
+}
+
+func (w *guardWalker) walkCases(body *ast.BlockStmt, held lockState) {
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			w.scanExpr(e, held)
+		}
+		w.walkStmts(cc.Body, held.clone())
+	}
+}
+
+func restore(dst, src lockState) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// scanExpr reports guarded field accesses in an expression. Function
+// literals are walked with the current state (an inline or deferred
+// closure observes the locks its creator holds).
+func (w *guardWalker) scanExpr(e ast.Expr, held lockState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.walkStmts(n.Body.List, held.clone())
+			return false
+		case *ast.SelectorExpr:
+			w.checkAccess(n, held)
+		}
+		return true
+	})
+}
+
+func (w *guardWalker) checkAccess(sel *ast.SelectorExpr, held lockState) {
+	field := selectedField(w.pass, sel)
+	if field == nil {
+		return
+	}
+	guard, ok := w.guarded[field]
+	if !ok {
+		return
+	}
+	base := exprPath(sel.X)
+	if base == "" {
+		// The receiver chain is not a plain identifier path (a call
+		// result, an index) — out of scope for the static model.
+		return
+	}
+	key := base + "." + guard
+	if held[key] > 0 {
+		return
+	}
+	for _, g := range w.locked {
+		if g == guard || g == key {
+			return
+		}
+	}
+	if strings.HasSuffix(w.name, "Locked") {
+		return
+	}
+	if root := rootIdent(sel.X); root != nil {
+		if obj := w.pass.Info.Uses[root]; obj != nil && w.fresh[obj] {
+			return
+		}
+	}
+	w.pass.Reportf(sel.Sel.Pos(),
+		"%s.%s is guarded by %s: access without %s held (annotate the function dpvet:locked %s if every caller holds it)",
+		base, sel.Sel.Name, key, key, guard)
+}
+
+// markFresh records locals bound (with :=) to freshly constructed
+// values: composite literals, &composites, or new(T).
+func (w *guardWalker) markFresh(s *ast.AssignStmt) {
+	if s.Tok != token.DEFINE || len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || !isFreshExpr(s.Rhs[i]) {
+			continue
+		}
+		if obj := w.pass.Info.Defs[id]; obj != nil {
+			w.fresh[obj] = true
+		}
+	}
+}
+
+func (w *guardWalker) markFreshSpec(vs *ast.ValueSpec) {
+	if len(vs.Values) != len(vs.Names) {
+		// `var x T` with no initializer: x is zero-valued and local,
+		// equally unreachable by other goroutines.
+		if len(vs.Values) == 0 {
+			for _, id := range vs.Names {
+				if obj := w.pass.Info.Defs[id]; obj != nil {
+					w.fresh[obj] = true
+				}
+			}
+		}
+		return
+	}
+	for i, id := range vs.Names {
+		if !isFreshExpr(vs.Values[i]) {
+			continue
+		}
+		if obj := w.pass.Info.Defs[id]; obj != nil {
+			w.fresh[obj] = true
+		}
+	}
+}
+
+func isFreshExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := e.X.(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}
+
+// lockOp recognizes <path>.Lock/RLock (+1) and Unlock/RUnlock (-1)
+// calls, returning the "<base>.<guard>" key they affect.
+func lockOp(e ast.Expr) (key string, delta int) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", 0
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", 0
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		delta = 1
+	case "Unlock", "RUnlock":
+		delta = -1
+	default:
+		return "", 0
+	}
+	path := exprPath(sel.X)
+	if path == "" {
+		return "", 0
+	}
+	return path, delta
+}
+
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerHotAlloc polices functions annotated `// dpvet:hot` — the
+// packed fill/BCP/logicsim paths whose whole point is staying
+// allocation-free at steady state. Inside a hot function (and any
+// closure it declares) it reports:
+//
+//   - fmt.Sprintf/Sprint/Sprintln/Appendf — formatting allocates and
+//     boxes every operand; hot paths have no business rendering text
+//     (fmt.Errorf on a cold error return stays legal)
+//   - make with a non-constant length or capacity — unbounded
+//     steady-state allocation; size it constant or draw from the
+//     sync.Pool arenas (internal/core/arena.go)
+//   - append whose destination is a struct field or package-level
+//     slice — the canonical escaping-append that defeats the arena
+//     (append to a local or a parameter-owned buffer instead)
+//   - explicit conversions to an interface type — boxing on the hot
+//     path, the exact cost PR 6 removed from bcp.Assign
+var AnalyzerHotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "dpvet:hot functions must not allocate per call: no fmt.Sprint*, non-constant make, escaping append, or interface boxing",
+	Run:  runHotAlloc,
+}
+
+var hotFmtBanned = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Appendf": true,
+}
+
+func runHotAlloc(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !funcIsHot(fd.Doc) {
+				continue
+			}
+			checkHotBody(p, fd.Body)
+		}
+	}
+}
+
+func checkHotBody(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkgPath, name, ok := pkgFunc(p, call); ok && pkgPath == "fmt" && hotFmtBanned[name] {
+			p.Reportf(call.Pos(), "fmt.%s in a dpvet:hot function allocates per call", name)
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+				switch id.Name {
+				case "make":
+					checkHotMake(p, call)
+				case "append":
+					checkHotAppend(p, call)
+				}
+				return true
+			}
+		}
+		checkHotBoxing(p, call)
+		return true
+	})
+}
+
+func checkHotMake(p *Pass, call *ast.CallExpr) {
+	for _, arg := range call.Args[1:] {
+		if tv, ok := p.Info.Types[arg]; ok && tv.Value == nil {
+			p.Reportf(call.Pos(), "make with non-constant size in a dpvet:hot function: size it constant or draw from a pooled arena")
+			return
+		}
+	}
+}
+
+func checkHotAppend(p *Pass, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	dst := call.Args[0]
+	if sel, ok := dst.(*ast.SelectorExpr); ok {
+		if selectedField(p, sel) != nil {
+			p.Reportf(call.Pos(), "append to field %s in a dpvet:hot function escapes the arena: append to a local or parameter-owned buffer", exprPath(sel))
+			return
+		}
+	}
+	if id, ok := dst.(*ast.Ident); ok {
+		if v, ok := p.Info.Uses[id].(*types.Var); ok && v.Parent() == p.Pkg.Scope() {
+			p.Reportf(call.Pos(), "append to package-level %s in a dpvet:hot function escapes the arena", id.Name)
+		}
+	}
+}
+
+// checkHotBoxing reports explicit conversions to interface types. A
+// CallExpr whose Fun type-checks as a type is a conversion.
+func checkHotBoxing(p *Pass, call *ast.CallExpr) {
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	target := tv.Type
+	if !types.IsInterface(target) {
+		return
+	}
+	argTV, ok := p.Info.Types[call.Args[0]]
+	if !ok || types.IsInterface(argTV.Type) || argTV.Type == types.Typ[types.UntypedNil] {
+		return
+	}
+	p.Reportf(call.Pos(), "conversion to interface %s in a dpvet:hot function boxes its operand", target.String())
+}

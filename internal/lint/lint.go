@@ -1,0 +1,242 @@
+// Package lint is dpvet's analysis driver: a dependency-free (go/ast +
+// go/types only, no x/tools) static-analysis layer that turns this
+// repository's past outage classes into machine-checked invariants.
+// Packages load through `go list -deps -export -json`, type-check
+// against the toolchain's export data, and run through a suite of
+// project-specific analyzers (Analyzers) that understand the repo's
+// annotation grammar:
+//
+//	// dpvet:guardedby mu        on a struct field: the field may only
+//	                             be read or written with mu held
+//	// dpvet:hot                 on a function: allocation- and
+//	                             boxing-sensitive hot path
+//	// dpvet:locked mu           on a function: documented to be called
+//	                             with mu already held
+//	// dpvet:ignore name reason  on (or the line before) a finding:
+//	                             suppress that analyzer there
+//
+// The driver is wired into CI as a hard gate (`go run ./cmd/dpvet
+// ./...`), so every analyzer here is a compile-time contract, not a
+// convention.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: an analyzer, a position, a message.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check. Run receives a fully type-checked
+// package and reports findings through the Pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass is one (analyzer, package) execution.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Path is the full import path; RelPath is the module-relative
+	// path ("internal/server", "cmd/dpfill") analyzers use for
+	// layer-scoped rules. For fixture packages the two are equal.
+	Path    string
+	RelPath string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Result is one package's findings after suppression.
+type Result struct {
+	Diagnostics []Diagnostic
+	Suppressed  int
+}
+
+// Run executes the analyzers over the packages and returns the
+// surviving diagnostics sorted by position, plus how many findings a
+// dpvet:ignore comment suppressed.
+func Run(pkgs []*Package, analyzers []*Analyzer) Result {
+	var all []Diagnostic
+	suppressed := 0
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg.Fset, pkg.Files)
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Path:     pkg.Path,
+				RelPath:  pkg.RelPath,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+		for _, d := range diags {
+			if ignores.covers(d) {
+				suppressed++
+				continue
+			}
+			all = append(all, d)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].File != all[j].File {
+			return all[i].File < all[j].File
+		}
+		if all[i].Line != all[j].Line {
+			return all[i].Line < all[j].Line
+		}
+		if all[i].Col != all[j].Col {
+			return all[i].Col < all[j].Col
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	return Result{Diagnostics: all, Suppressed: suppressed}
+}
+
+// Analyzers is the full catalog, in the order dpvet runs them.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerGuardedBy,
+		AnalyzerNoPlainLog,
+		AnalyzerHotAlloc,
+		AnalyzerCtxDeadline,
+		AnalyzerRegistryOrder,
+		AnalyzerErrWrap,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list; "all" (or empty)
+// means the full catalog.
+func ByName(names string) ([]*Analyzer, error) {
+	names = strings.TrimSpace(names)
+	if names == "" || names == "all" {
+		return Analyzers(), nil
+	}
+	catalog := map[string]*Analyzer{}
+	for _, a := range Analyzers() {
+		catalog[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := catalog[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// ignoreIndex maps file -> line -> analyzer names suppressed there.
+type ignoreIndex map[string]map[int]map[string]bool
+
+// covers reports whether d is suppressed by a dpvet:ignore comment on
+// its own line or the line directly above it.
+func (ix ignoreIndex) covers(d Diagnostic) bool {
+	lines := ix[d.File]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{d.Line, d.Line - 1} {
+		if names := lines[line]; names != nil {
+			if names[d.Analyzer] || names["all"] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectIgnores indexes every `dpvet:ignore <names> [reason]` comment.
+// Names are comma-separated; everything after the first space is a
+// free-form reason. A suppression without a name is ignored (it would
+// silently blanket every analyzer by accident).
+func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreIndex {
+	ix := ignoreIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				args, ok := directive(c.Text, "ignore")
+				if !ok {
+					continue
+				}
+				names, _, _ := strings.Cut(args, " ")
+				if names == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := ix[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					ix[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = map[string]bool{}
+					lines[pos.Line] = set
+				}
+				for _, n := range strings.Split(names, ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						set[n] = true
+					}
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// directive parses a `// dpvet:<name> args...` comment, tolerating a
+// space after the slashes (gofmt keeps either form).
+func directive(text, name string) (args string, ok bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	prefix := "dpvet:" + name
+	if !strings.HasPrefix(text, prefix) {
+		return "", false
+	}
+	rest := text[len(prefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // dpvet:ignorefoo is not dpvet:ignore
+	}
+	return strings.TrimSpace(rest), true
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// runFixture type-checks testdata/src/<rel>, runs the analyzers, and
+// matches findings against `// want "substr"` comments: every want
+// must be hit by a finding on its line, every finding must hit a
+// want, and the dpvet:ignore suppression count must match.
+func runFixture(t *testing.T, rel string, wantSuppressed int, analyzers ...*Analyzer) {
+	t.Helper()
+	pkg, err := LoadDir("testdata/src", rel)
+	if err != nil {
+		t.Fatalf("LoadDir(%q): %v", rel, err)
+	}
+	res := Run([]*Package{pkg}, analyzers)
+
+	wants := collectWants(t, pkg)
+	matched := make([]bool, len(wants))
+	for _, d := range res.Diagnostics {
+		hit := false
+		for i, w := range wants {
+			if w.file == d.File && w.line == d.Line && strings.Contains(d.Message, w.substr) {
+				matched[i] = true
+				hit = true
+			}
+		}
+		if !hit {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected a finding containing %q, got none", w.file, w.line, w.substr)
+		}
+	}
+	if res.Suppressed != wantSuppressed {
+		t.Errorf("suppressed = %d, want %d", res.Suppressed, wantSuppressed)
+	}
+}
+
+type wantComment struct {
+	file   string
+	line   int
+	substr string
+}
+
+var wantRE = regexp.MustCompile(`^want "(.*)"$`)
+
+func collectWants(t *testing.T, pkg *Package) []wantComment {
+	t.Helper()
+	var wants []wantComment
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				m := wantRE.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, wantComment{file: pos.Filename, line: pos.Line, substr: m[1]})
+			}
+		}
+	}
+	return wants
+}
+
+func TestGuardedBy(t *testing.T)   { runFixture(t, "guardedby", 1, AnalyzerGuardedBy) }
+func TestNoPlainLog(t *testing.T)  { runFixture(t, "noplainlog", 1, AnalyzerNoPlainLog) }
+func TestHotAlloc(t *testing.T)    { runFixture(t, "hotalloc", 1, AnalyzerHotAlloc) }
+func TestCtxDeadline(t *testing.T) { runFixture(t, "ctxdeadline", 1, AnalyzerCtxDeadline) }
+func TestRegistryOrder(t *testing.T) {
+	runFixture(t, "registryorder", 1, AnalyzerRegistryOrder)
+}
+func TestErrWrap(t *testing.T) { runFixture(t, "errwrap", 1, AnalyzerErrWrap) }
+
+// TestErrWrapResponseBodies uses a fixture whose module-relative path
+// is internal/server, turning on the layer-scoped response-body rule.
+func TestErrWrapResponseBodies(t *testing.T) {
+	runFixture(t, "internal/server", 1, AnalyzerErrWrap)
+}
+
+// TestNoPlainLogCmdExempt: the same calls that fail in a library
+// package are legal under cmd/.
+func TestNoPlainLogCmdExempt(t *testing.T) {
+	runFixture(t, "cmd/noplainlogexempt", 0, AnalyzerNoPlainLog)
+}
+
+func TestDirective(t *testing.T) {
+	cases := []struct {
+		text, name, args string
+		ok               bool
+	}{
+		{"// dpvet:ignore guardedby torn reads fine", "ignore", "guardedby torn reads fine", true},
+		{"//dpvet:hot", "hot", "", true},
+		{"// dpvet:hot", "hot", "", true},
+		{"// dpvet:hotspot", "hot", "", false},
+		{"// regular comment", "ignore", "", false},
+		{"// dpvet:guardedby mu", "guardedby", "mu", true},
+	}
+	for _, c := range cases {
+		args, ok := directive(c.text, c.name)
+		if ok != c.ok || args != c.args {
+			t.Errorf("directive(%q, %q) = (%q, %v), want (%q, %v)", c.text, c.name, args, ok, c.args, c.ok)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != len(Analyzers()) {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want full catalog", len(all), err)
+	}
+	two, err := ByName("guardedby, errwrap")
+	if err != nil || len(two) != 2 || two[0].Name != "guardedby" || two[1].Name != "errwrap" {
+		t.Fatalf("ByName subset failed: %v, err %v", two, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName(nosuch) should fail")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Analyzer: "guardedby", File: "x.go", Line: 3, Col: 7, Message: "boom"}
+	d.Pos = token.Position{Filename: "x.go", Line: 3, Column: 7}
+	want := "x.go:3:7: guardedby: boom"
+	if got := fmt.Sprint(d); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path    string
+	RelPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listPackage is the slice of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Export     string
+	Module     *struct {
+		Path string
+	}
+	Error *struct {
+		Err string
+	}
+}
+
+// Load lists patterns (plus their whole dependency closure) with the
+// go tool, then parses and type-checks every matched non-dependency
+// package from source, resolving imports through the export data `go
+// list -export` wrote to the build cache. This keeps the driver
+// dependency-free: the toolchain does the build graph and export
+// serialization, go/types does the rest.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard || lp.Name == "" {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		var files []*ast.File
+		var names []string
+		for _, gf := range lp.GoFiles {
+			names = append(names, filepath.Join(lp.Dir, gf))
+		}
+		files, err := parseFiles(fset, names)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := check(fset, lp.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", lp.ImportPath, err)
+		}
+		rel := lp.ImportPath
+		if lp.Module != nil && lp.Module.Path != "" {
+			if rel == lp.Module.Path {
+				rel = "."
+			} else {
+				rel = strings.TrimPrefix(rel, lp.Module.Path+"/")
+			}
+		}
+		pkg.RelPath = rel
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir type-checks one directory of fixture files as the package
+// path rel (relative to srcRoot). Imports — fixtures only import the
+// standard library — resolve through the same export-data path Load
+// uses; srcRoot must sit inside a module so the go tool runs.
+func LoadDir(srcRoot, rel string) (*Package, error) {
+	dir := filepath.Join(srcRoot, rel)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, filepath.Join(dir, e.Name()))
+		}
+	}
+	files, err := parseFiles(fset, names)
+	if err != nil {
+		return nil, err
+	}
+	var imports []string
+	seen := map[string]bool{}
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			p, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			if !seen[p] {
+				seen[p] = true
+				imports = append(imports, p)
+			}
+		}
+	}
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		listed, err := goList(srcRoot, imports)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range listed {
+			if lp.Export != "" {
+				exports[lp.ImportPath] = lp.Export
+			}
+		}
+	}
+	pkg, err := check(fset, rel, files, newExportImporter(fset, exports))
+	if err != nil {
+		return nil, fmt.Errorf("lint: fixture %s: %w", rel, err)
+	}
+	pkg.RelPath = rel
+	return pkg, nil
+}
+
+func goList(dir string, patterns []string) ([]listPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var out []listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+func parseFiles(fset *token.FileSet, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		Path:  path,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// newExportImporter resolves import paths through the export-data
+// files `go list -export` reported. The gc importer caches packages,
+// so shared dependencies type-check once per Load.
+func newExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerNoPlainLog keeps all serving-layer output flowing through
+// internal/logx: the standard log package, fmt's implicit-stdout
+// printers and the println/print builtins are banned everywhere
+// except internal/logx itself (which owns the sink), cmd/ (flag
+// parsing and CLI result output legitimately write to the terminal),
+// and examples/. fmt.Fprint* to an explicit writer stays legal — that
+// is rendering, not logging.
+var AnalyzerNoPlainLog = &Analyzer{
+	Name: "noplainlog",
+	Doc:  "no log.Printf/fmt.Print*/println outside internal/logx, cmd/ and examples/",
+	Run:  runNoPlainLog,
+}
+
+var plainFmtPrinters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func runNoPlainLog(p *Pass) {
+	if p.RelPath == "internal/logx" || isRelUnder(p.RelPath, "cmd") || isRelUnder(p.RelPath, "examples") {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				if id.Name == "println" || id.Name == "print" {
+					// A user-defined println resolves to its own
+					// object; the builtin resolves to *types.Builtin.
+					if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+						p.Reportf(call.Pos(), "builtin %s: route output through internal/logx", id.Name)
+					}
+				}
+				return true
+			}
+			pkgPath, name, ok := pkgFunc(p, call)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkgPath == "log":
+				p.Reportf(call.Pos(), "log.%s: route output through internal/logx", name)
+			case pkgPath == "fmt" && plainFmtPrinters[name]:
+				p.Reportf(call.Pos(), "fmt.%s writes to process stdout: route output through internal/logx (or fmt.Fprint* to an explicit writer)", name)
+			}
+			return true
+		})
+	}
+}

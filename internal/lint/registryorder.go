@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerRegistryOrder pins the PR 9 construction-order contract: in
+// a constructor, the metrics registry must be wired before anything
+// that can record into it. Concretely, in any function containing an
+// assignment `recv.field = newProm(...)` (or NewProm/NewRegistry —
+// matched by callee name, so the rule holds for any tier's registry
+// constructor), no earlier statement may
+//
+//   - use recv.field — it is still nil there, and
+//   - pass recv to any call, or invoke a method on recv — the
+//     half-built receiver escapes to code that may record into the
+//     registry that does not exist yet. This is exactly how the PR 9
+//     race happened: jobs.Open replayed the journal (which feeds the
+//     latency histograms through s.runJob) before s.prom was assigned.
+var AnalyzerRegistryOrder = &Analyzer{
+	Name: "registryorder",
+	Doc:  "no call on (or use of) a registry field may precede its newProm/NewRegistry assignment in a constructor",
+	Run:  runRegistryOrder,
+}
+
+var registryCtors = map[string]bool{
+	"newProm": true, "NewProm": true, "NewRegistry": true,
+}
+
+func runRegistryOrder(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkRegistryOrder(p, fd)
+		}
+	}
+}
+
+func checkRegistryOrder(p *Pass, fd *ast.FuncDecl) {
+	// Find the first registry assignment: recv.field = <ctor>(...).
+	var (
+		assignPos  token.Pos = -1
+		fieldPath  string
+		recvObj    types.Object
+		ctorCall   *ast.CallExpr
+		recvIsSelf bool
+	)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if assignPos != -1 {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !registryCtors[calleeName(call)] {
+			return true
+		}
+		sel, ok := as.Lhs[0].(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		path := exprPath(sel)
+		if path == "" {
+			return true
+		}
+		root := rootIdent(sel.X)
+		if root == nil {
+			return true
+		}
+		assignPos = as.Pos()
+		fieldPath = path
+		recvObj = p.Info.Uses[root]
+		ctorCall = call
+		recvIsSelf = recvObj != nil
+		return false
+	})
+	if assignPos == -1 {
+		return
+	}
+	// Everything before the assignment is suspect.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil || n.Pos() >= assignPos {
+			// The constructor call itself (and its argument list,
+			// which may legitimately mention recv) is the boundary.
+			return n != nil && n.Pos() < assignPos
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if path := exprPath(n); path == fieldPath {
+				p.Reportf(n.Pos(), "%s is used before it is assigned from %s (PR 9 construction-order race: the registry must exist before anything records into it)",
+					fieldPath, calleeName(ctorCall))
+			}
+		case *ast.CallExpr:
+			if !recvIsSelf {
+				return true
+			}
+			if escapesReceiver(p, n, recvObj) {
+				p.Reportf(n.Pos(), "%s escapes into a call before %s is assigned from %s: the callee can record into a registry that does not exist yet",
+					recvObj.Name(), fieldPath, calleeName(ctorCall))
+				return false // one report per outermost offending call
+			}
+		}
+		return true
+	})
+}
+
+// escapesReceiver reports whether call hands recv itself to other
+// code: recv as a bare value (f(s), f(&s)), a method value (f(s.run) —
+// the bound method carries the receiver), or a direct method call
+// (s.init()). Reading a field off recv (f(s.client),
+// s.client.Close()) passes only the field's value, not the receiver,
+// and is fine — the half-built registry cannot be reached through it
+// by name.
+func escapesReceiver(p *Pass, call *ast.CallExpr, recv types.Object) bool {
+	escapes := false
+	var scan func(n ast.Node) bool
+	scan = func(n ast.Node) bool {
+		if escapes {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			base, ok := unparen(n.X).(*ast.Ident)
+			if !ok || p.Info.Uses[base] != recv {
+				return true
+			}
+			if sel, ok := p.Info.Selections[n]; ok && sel.Kind() != types.FieldVal {
+				escapes = true // method value/call bound to recv
+				return false
+			}
+			return false // field read: recv itself does not flow
+		case *ast.Ident:
+			if p.Info.Uses[n] == recv {
+				escapes = true // bare recv value
+				return false
+			}
+		}
+		return true
+	}
+	for _, arg := range call.Args {
+		ast.Inspect(arg, scan)
+	}
+	ast.Inspect(call.Fun, scan)
+	return escapes
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

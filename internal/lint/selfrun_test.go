@@ -1,0 +1,28 @@
+package lint
+
+import "testing"
+
+// TestSelfRun is the dogfood pin: the full analyzer catalog over the
+// entire module must be clean. A regression that reintroduces any
+// extinct bug class — a guardedby field read outside its lock, a
+// handler serializing a raw err.Error(), a registry used before its
+// constructor runs — fails this test before it fails in CI.
+func TestSelfRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("Load returned no packages")
+	}
+	res := Run(pkgs, Analyzers())
+	for _, d := range res.Diagnostics {
+		t.Errorf("finding on clean tree: %s", d)
+	}
+	if res.Suppressed == 0 {
+		t.Error("suppressed = 0: the tree's dpvet:ignore annotations were not seen, suppression is broken")
+	}
+}

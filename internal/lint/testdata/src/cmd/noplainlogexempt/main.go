@@ -1,0 +1,13 @@
+// Package main sits under cmd/: CLI output to the terminal is the
+// product here, so noplainlog must stay silent.
+package main
+
+import (
+	"fmt"
+	"log"
+)
+
+func main() {
+	fmt.Println("result") // ok: cmd/ is exempt
+	log.Fatal("usage")    // ok: cmd/ flag-error path
+}

@@ -1,0 +1,145 @@
+// Package ctxdeadline exercises the ctxdeadline analyzer.
+package ctxdeadline
+
+import "context"
+
+// hotBad runs a long loop without ever consulting ctx: on a single
+// CPU an elapsed deadline is never observed.
+//
+// dpvet:hot
+func hotBad(ctx context.Context, rows [][]uint64) int {
+	total := 0
+	for _, row := range rows { // want "never consults its context"
+		a, b, c := 0, 1, 2
+		for _, w := range row {
+			if w&1 != 0 {
+				a++
+			} else {
+				b++
+			}
+			c += a + b
+		}
+		total += c
+	}
+	return total
+}
+
+// hotGood checks the deadline each outer iteration.
+//
+// dpvet:hot
+func hotGood(ctx context.Context, rows [][]uint64) (int, error) {
+	total := 0
+	for _, row := range rows {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		a, b, c := 0, 1, 2
+		for _, w := range row {
+			if w&1 != 0 {
+				a++
+			} else {
+				b++
+			}
+			c += a + b
+		}
+		total += c
+	}
+	return total, nil
+}
+
+// hotDelegates hands ctx to its callee each iteration: the callee
+// owns the check.
+//
+// dpvet:hot
+func hotDelegates(ctx context.Context, rows [][]uint64) (int, error) {
+	total := 0
+	for _, row := range rows {
+		n, err := step(ctx, row)
+		if err != nil {
+			return 0, err
+		}
+		x, y := n, n+1
+		x += y
+		y += x
+		x += y
+		y += x
+		total += x + y
+	}
+	return total, nil
+}
+
+func step(ctx context.Context, row []uint64) (int, error) {
+	return len(row), ctx.Err()
+}
+
+// hotShortLoop is under the statement threshold: tight word loops
+// finish without a check.
+//
+// dpvet:hot
+func hotShortLoop(ctx context.Context, words []uint64) uint64 {
+	_ = ctx.Err()
+	var acc uint64
+	for _, w := range words {
+		acc ^= w
+	}
+	return acc
+}
+
+// hotNoCtx never received a context: its caller owns the deadline.
+//
+// dpvet:hot
+func hotNoCtx(rows [][]uint64) int {
+	total := 0
+	for _, row := range rows {
+		a, b, c := 0, 1, 2
+		for _, w := range row {
+			if w&1 != 0 {
+				a++
+			} else {
+				b++
+			}
+			c += a + b
+		}
+		total += c
+	}
+	return total
+}
+
+// hotSuppressed documents why its loop is exact and bounded.
+//
+// dpvet:hot
+func hotSuppressed(ctx context.Context, rows [][]uint64) int {
+	total := 0
+	// dpvet:ignore ctxdeadline bounded by 64 words, finishes in microseconds
+	for _, row := range rows {
+		a, b, c := 0, 1, 2
+		for _, w := range row {
+			if w&1 != 0 {
+				a++
+			} else {
+				b++
+			}
+			c += a + b
+		}
+		total += c
+	}
+	return total
+}
+
+// cold is unannotated.
+func cold(ctx context.Context, rows [][]uint64) int {
+	total := 0
+	for _, row := range rows {
+		a, b, c := 0, 1, 2
+		for _, w := range row {
+			if w&1 != 0 {
+				a++
+			} else {
+				b++
+			}
+			c += a + b
+		}
+		total += c
+	}
+	return total
+}

@@ -1,0 +1,39 @@
+// Package errwrap exercises the %w half of the errwrap analyzer (the
+// response-body half is layer-scoped and tested via internal/server
+// fixtures).
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+func bad(err error) error {
+	return fmt.Errorf("loading journal: %v", err) // want "error operand"
+}
+
+func badString(err error) error {
+	return fmt.Errorf("loading journal: %s", err) // want "error operand"
+}
+
+func badTwo(a, b error) error {
+	return fmt.Errorf("both failed: %w and %v", a, b) // want "error operand"
+}
+
+func good(err error) error {
+	return fmt.Errorf("loading journal: %w", err) // ok
+}
+
+func goodTwo(a, b error) error {
+	return fmt.Errorf("both failed: %w and %w", a, b) // ok
+}
+
+func goodNoErr(n int) error {
+	return fmt.Errorf("bad count %d", n) // ok: no error operand
+}
+
+func suppressed(err error) error {
+	return fmt.Errorf("redacted upstream failure: %v", err) // dpvet:ignore errwrap deliberately severed: upstream error text is not part of our API
+}

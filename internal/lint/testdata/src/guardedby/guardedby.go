@@ -1,0 +1,110 @@
+// Package guardedby exercises the guardedby analyzer: every locking
+// shape the repo uses, one positive finding per violation class, and
+// one dpvet:ignore suppression.
+package guardedby
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // dpvet:guardedby mu
+	// m is guarded too, annotated via doc comment.
+	// dpvet:guardedby mu
+	m map[string]int
+}
+
+func (c *counter) good() {
+	c.mu.Lock()
+	c.n++ // ok: mu held
+	c.mu.Unlock()
+}
+
+func (c *counter) goodDeferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n // ok: deferred unlock releases at return
+}
+
+func (c *counter) bad() {
+	c.n++ // want "guarded by c.mu"
+}
+
+func (c *counter) badAfterUnlock() {
+	c.mu.Lock()
+	c.mu.Unlock()
+	c.n = 7 // want "guarded by c.mu"
+}
+
+func (c *counter) goodEarlyReturn(cond bool) {
+	c.mu.Lock()
+	if cond {
+		c.mu.Unlock()
+		return
+	}
+	c.n++ // ok: the unlocking branch returned
+	c.mu.Unlock()
+}
+
+func (c *counter) badBranchUnlock(cond bool) {
+	c.mu.Lock()
+	if cond {
+		c.mu.Unlock()
+	}
+	c.n++ // want "guarded by c.mu"
+	c.mu.Unlock()
+}
+
+// addLocked is exempt by the *Locked naming convention.
+func (c *counter) addLocked(d int) { c.n += d } // ok
+
+// snapshot is exempt by annotation: every caller holds c.mu.
+//
+// dpvet:locked mu
+func (c *counter) snapshot() int { return c.n } // ok
+
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1 // ok: freshly constructed, unreachable by other goroutines
+	c.m = map[string]int{}
+	return c
+}
+
+func (c *counter) suppressed() int {
+	return c.n // dpvet:ignore guardedby read-only stat, torn reads acceptable
+}
+
+func (c *counter) badClosure() func() int {
+	return func() int {
+		return c.n // want "guarded by c.mu"
+	}
+}
+
+func (c *counter) goodClosure() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := func() int { return c.n } // ok: closure created under the lock
+	return f()
+}
+
+func (c *counter) badGoroutine() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want "guarded by c.mu"
+	}()
+}
+
+func (c *counter) goodRLockStyle(other *counter) {
+	other.mu.Lock()
+	other.n++ // ok: the other receiver's guard is held
+	other.mu.Unlock()
+	c.mu.Lock()
+	c.n++ // ok
+	c.mu.Unlock()
+}
+
+func (c *counter) badWrongReceiver(other *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	other.n++ // want "guarded by other.mu"
+}

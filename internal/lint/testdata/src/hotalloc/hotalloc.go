@@ -1,0 +1,59 @@
+// Package hotalloc exercises the hotalloc analyzer.
+package hotalloc
+
+import "fmt"
+
+type buffers struct {
+	scratch []uint64
+}
+
+var global []int
+
+// hotBad is the hot path doing everything it must not.
+//
+// dpvet:hot
+func hotBad(b *buffers, n int, words []uint64) string {
+	s := fmt.Sprintf("n=%d", n)              // want "fmt.Sprintf"
+	tmp := make([]uint64, n)                 // want "non-constant size"
+	b.scratch = append(b.scratch, words...)  // want "append to field b.scratch"
+	global = append(global, n)               // want "append to package-level global"
+	var iface interface{} = interface{}(tmp) // want "boxes its operand"
+	_ = iface
+	return s
+}
+
+// hotGood allocates nothing per call.
+//
+// dpvet:hot
+func hotGood(dst []uint64, words []uint64) []uint64 {
+	var buf [8]uint64 // ok: stack array
+	for i := range buf {
+		buf[i] = 0
+	}
+	dst = append(dst, words...) // ok: parameter-owned buffer, caller manages capacity
+	local := make([]uint64, 16) // ok: constant size
+	_ = local
+	return dst
+}
+
+// hotErr may build an error on the cold return path.
+//
+// dpvet:hot
+func hotErr(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative count %d", n) // ok: Errorf is the cold path
+	}
+	return nil
+}
+
+// hotSuppressed documents its one deliberate allocation.
+//
+// dpvet:hot
+func hotSuppressed(n int) []uint64 {
+	return make([]uint64, n) // dpvet:ignore hotalloc one-time sizing at stream start, amortized
+}
+
+// cold is unannotated: the analyzer leaves it alone.
+func cold(n int) string {
+	return fmt.Sprintf("n=%d", n) // ok: not a hot function
+}

@@ -1,0 +1,48 @@
+// Package server is a fixture whose module-relative path is
+// internal/server, so the layer-scoped half of errwrap (no raw
+// err.Error() in response bodies) applies.
+package server
+
+import (
+	"errors"
+	"net/http"
+)
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+var ErrBadRequest = errors.New("bad request")
+
+func writeJSON(w http.ResponseWriter, status int, v any) {}
+
+// writeError is the taxonomy sink: the one place an error is allowed
+// to serialize, after mapping through ErrBadRequest.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	if errors.Is(err, ErrBadRequest) {
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()}) // ok: the sink itself
+}
+
+func badHandler(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), http.StatusInternalServerError) // want "raw err.Error"
+}
+
+func badJSONHandler(w http.ResponseWriter, err error) {
+	writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()}) // want "raw err.Error"
+}
+
+func badConcat(w http.ResponseWriter, err error) {
+	writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed JSON: " + err.Error()}) // want "raw err.Error"
+}
+
+func goodHandler(w http.ResponseWriter, err error) {
+	writeError(w, err) // ok: mapped through the taxonomy
+}
+
+func suppressedHandler(w http.ResponseWriter, err error) {
+	// dpvet:ignore errwrap decode errors are user-facing 400 detail by contract
+	writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,62 @@
+// Package registryorder exercises the registryorder analyzer with the
+// exact shape of the PR 9 construction-order race.
+package registryorder
+
+type registry struct{ n int }
+
+func newProm() *registry { return &registry{} }
+
+type queue struct{}
+
+// open stands in for jobs.Open: it may invoke run (and record into
+// the registry) before returning.
+func open(run func()) *queue { run(); return &queue{} }
+
+type server struct {
+	prom *registry
+	jobs *queue
+	n    int
+}
+
+func (s *server) runJob() { s.prom.n++ }
+
+func badEscape() *server {
+	s := &server{}
+	s.jobs = open(s.runJob) // want "escapes into a call before s.prom"
+	s.prom = newProm()
+	return s
+}
+
+func badUse() *server {
+	s := &server{}
+	s.n = s.prom.n // want "used before it is assigned"
+	s.prom = newProm()
+	return s
+}
+
+func badMethodCall() *server {
+	s := &server{}
+	s.runJob() // want "escapes into a call before s.prom"
+	s.prom = newProm()
+	return s
+}
+
+func goodOrder() *server {
+	s := &server{}
+	s.prom = newProm()
+	s.jobs = open(s.runJob) // ok: registry exists
+	return s
+}
+
+func goodNoRegistry() *server {
+	s := &server{}
+	s.jobs = open(s.runJob) // ok: this constructor wires no registry
+	return s
+}
+
+func suppressed() *server {
+	s := &server{}
+	s.runJob() // dpvet:ignore registryorder runJob records nowhere in this tier
+	s.prom = newProm()
+	return s
+}

@@ -80,6 +80,7 @@ func (d *DualRail) ApplyPackedRows(pr *cube.PackedRows, base int) error {
 	return nil
 }
 
+// dpvet:hot
 // eval settles the combinational core: constant sources, then every
 // gate in topological order. Scan inputs must already be loaded.
 func (d *DualRail) eval() {
@@ -110,6 +111,7 @@ func (d *DualRail) Trit(id, p int) cube.Trit {
 	}
 }
 
+// dpvet:hot
 // EvalDualRail computes a gate's dual-rail output from the given value
 // arrays. It is exported so fault simulators can evaluate fanout cones
 // against overridden (faulty) value arrays using the same semantics.

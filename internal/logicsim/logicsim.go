@@ -254,6 +254,7 @@ func PackCubes(cubes []cube.Cube, width int) ([]uint64, error) {
 	return in, nil
 }
 
+// dpvet:hot
 // eval64 computes a gate's 64-way output.
 func eval64(t circuit.GateType, fanin []int, w []uint64) uint64 {
 	switch t {

@@ -57,9 +57,11 @@ type family struct {
 // Registry holds metric families and renders them for scraping.
 // Construct with NewRegistry; all methods are safe for concurrent use.
 type Registry struct {
-	mu       sync.Mutex
+	mu sync.Mutex
+	// dpvet:guardedby mu
 	families map[string]*family
-	order    []string
+	// dpvet:guardedby mu
+	order []string
 }
 
 // NewRegistry returns an empty registry.

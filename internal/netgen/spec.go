@@ -33,7 +33,7 @@ func ParseSpec(s string) (Profile, error) {
 		}
 		f, err := strconv.ParseFloat(strings.TrimSpace(factor), 64)
 		if err != nil {
-			return Profile{}, fmt.Errorf("netgen: bad scale factor %q: %v", factor, err)
+			return Profile{}, fmt.Errorf("netgen: bad scale factor %q: %w", factor, err)
 		}
 		if f <= 0 || f > 1 {
 			return Profile{}, fmt.Errorf("netgen: scale factor %v outside (0,1]", f)
@@ -63,7 +63,7 @@ func ParseSpec(s string) (Profile, error) {
 		}
 		n, err := strconv.ParseInt(val, 10, 32)
 		if err != nil {
-			return Profile{}, fmt.Errorf("netgen: bad value for %q: %v", key, err)
+			return Profile{}, fmt.Errorf("netgen: bad value for %q: %w", key, err)
 		}
 		switch key {
 		case "pis":

@@ -198,7 +198,7 @@ func MergeShards(width int, shards []*ATPGReport) (*cube.Set, ATPGReport, error)
 		}
 		set, err := cube.ParseSet(sh.Cubes...)
 		if err != nil {
-			return nil, agg, fmt.Errorf("pipeline: shard %d cubes: %v", i, err)
+			return nil, agg, fmt.Errorf("pipeline: shard %d cubes: %w", i, err)
 		}
 		if set.Width != width {
 			return nil, agg, fmt.Errorf("pipeline: shard %d width %d, want %d", i, set.Width, width)

@@ -68,9 +68,11 @@ func fillDigest(s *cube.Set, orderer, filler string, seed int64) string {
 // A nil *lruCache is valid and never hits, so disabling the cache is
 // just not constructing one.
 type lruCache struct {
-	mu    sync.Mutex
-	cap   int
+	mu  sync.Mutex
+	cap int // immutable after construction
+	// dpvet:guardedby mu
 	order *list.List // front = most recently used; values are *lruEntry
+	// dpvet:guardedby mu
 	byKey map[string]*list.Element
 }
 

@@ -672,6 +672,7 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 				errorResponse{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
 			return false
 		}
+		// dpvet:ignore errwrap decode-error detail is the 400 contract: callers debug their own malformed bodies
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed JSON: " + err.Error()})
 		return false
 	}

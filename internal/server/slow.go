@@ -45,9 +45,12 @@ type SlowRequest struct {
 // in snapshots. The zero value is not usable; a nil *SlowRing is a
 // safe no-op everywhere, so disabling capture costs one nil check.
 type SlowRing struct {
-	mu    sync.Mutex
-	buf   []SlowRequest
-	next  int
+	mu sync.Mutex
+	// dpvet:guardedby mu
+	buf []SlowRequest
+	// dpvet:guardedby mu
+	next int
+	// dpvet:guardedby mu
 	count int
 }
 

@@ -61,18 +61,27 @@ type Stats struct {
 // additionally mirrors each job's latency into the Prometheus
 // histogram (atomic-only, set once at construction).
 type metrics struct {
-	mu          sync.Mutex
-	start       time.Time
-	jobs        uint64
-	errors      uint64
-	cacheHits   uint64
+	mu    sync.Mutex
+	start time.Time // immutable after newMetrics
+	// dpvet:guardedby mu
+	jobs uint64
+	// dpvet:guardedby mu
+	errors uint64
+	// dpvet:guardedby mu
+	cacheHits uint64
+	// dpvet:guardedby mu
 	cacheMisses uint64
-	lat         [latencyWindow]time.Duration
-	latNext     int
+	// dpvet:guardedby mu
+	lat [latencyWindow]time.Duration
+	// dpvet:guardedby mu
+	latNext int
+	// dpvet:guardedby mu
 	latCount    int
 	fillLatency *prom.Histogram
 
-	pipelines       uint64
+	// dpvet:guardedby mu
+	pipelines uint64
+	// dpvet:guardedby mu
 	pipelineErrors  uint64
 	pipelineLatency *prom.Histogram
 	// stageLatency maps a pipeline stage's base name (shard stages
@@ -114,6 +123,8 @@ func (m *metrics) observeUncachedJob(d time.Duration) {
 
 // recordJob counts one job and pushes its latency into the window.
 // Callers hold mu.
+//
+// dpvet:locked mu
 func (m *metrics) recordJob(d time.Duration) {
 	m.jobs++
 	m.lat[m.latNext] = d
